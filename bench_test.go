@@ -1,0 +1,535 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus ablations for the design choices called out in
+// DESIGN.md §5. Each benchmark regenerates its experiment end to end and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation and prints the numbers EXPERIMENTS.md
+// records.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/assigner"
+	"repro/internal/baselines"
+	"repro/internal/experiments"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+func BenchmarkFig1GPUPortions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.GPUType == "T4" {
+					b.ReportMetric(r.Share*100, "t4-fleet-%")
+					b.ReportMetric(r.MeanUtil*100, "t4-util-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig3PhaseDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Device == "P100" && r.Bits == 16 {
+					b.ReportMetric(r.PrefillRatioVsV100, "p100/v100-prefill-x")
+					b.ReportMetric(r.DecodeRatioVsV100, "p100/v100-decode-x")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4QualityVsBitwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Model == "opt-1.3b(ref)" && r.Scheme == "mixed4-8" {
+					b.ReportMetric(r.PPL, "mixed4-8-ppl")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig5PrecisionBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Device == "V100" && r.Bits == 16 && r.Batch == 4 {
+					b.ReportMetric(r.Prefill*1000, "v100-fp16-prefill-ms")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable1LayerSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(rows) >= 3 {
+			b.ReportMetric(rows[2].PPL-rows[0].PPL, "late-minus-early-ppl")
+		}
+	}
+}
+
+func BenchmarkFig7CostModelFidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var worst float64
+			for _, e := range res.LatErr {
+				if e > worst {
+					worst = e
+				}
+			}
+			b.ReportMetric(worst*100, "worst-latency-err-%")
+		}
+	}
+}
+
+func BenchmarkTable4Heterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, all, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			avg, max, _ := experiments.AverageSpeedup(all)
+			b.ReportMetric(avg, "avg-speedup-x")
+			b.ReportMetric(max, "max-speedup-x")
+		}
+	}
+}
+
+func BenchmarkTable5Homogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, all, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			avg, _, _ := experiments.AverageSpeedup(all)
+			b.ReportMetric(avg, "avg-speedup-x")
+		}
+	}
+}
+
+func BenchmarkTable6Indicator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var hess, variance time.Duration
+			for _, r := range rows {
+				switch r.Method {
+				case "Hessian":
+					hess = r.Overhead
+				case "LLM-PQ (variance)":
+					variance = r.Overhead
+				}
+			}
+			if variance > 0 {
+				b.ReportMetric(float64(hess)/float64(variance), "hessian/variance-overhead-x")
+			}
+		}
+	}
+}
+
+func BenchmarkTable7ShortPrompts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, all, err := experiments.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			avg, _, _ := experiments.AverageSpeedup(all)
+			b.ReportMetric(avg, "avg-speedup-x")
+		}
+	}
+}
+
+func BenchmarkTable8Optimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var heuristic, group1 time.Duration
+			for _, r := range rows {
+				if r.Cluster == 10 {
+					switch r.Strategy {
+					case "heuristic":
+						heuristic = r.Overhead
+					case "group=1":
+						group1 = r.Overhead
+					}
+				}
+			}
+			if heuristic > 0 {
+				b.ReportMetric(float64(group1)/float64(heuristic), "group1/heuristic-solve-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8ThetaSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var lo, hi experiments.Fig8Row
+			for _, r := range rows {
+				if r.Cluster == 9 && r.Theta == 0.01 {
+					lo = r
+				}
+				if r.Cluster == 9 && r.Theta == 10000 {
+					hi = r
+				}
+			}
+			b.ReportMetric(lo.PPL-hi.PPL, "ppl-gain-lo-to-hi-theta")
+		}
+	}
+}
+
+func BenchmarkFig9VsAdabits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			byCluster := map[int]map[string]float64{}
+			for _, r := range rows {
+				if byCluster[r.Cluster] == nil {
+					byCluster[r.Cluster] = map[string]float64{}
+				}
+				byCluster[r.Cluster][r.Scheme] = r.Throughput
+			}
+			var sum float64
+			var n int
+			for _, m := range byCluster {
+				if m["adabits"] > 0 {
+					sum += m["LLM-PQ"] / m["adabits"]
+					n++
+				}
+			}
+			b.ReportMetric(sum/float64(n), "avg-speedup-vs-adabits-x")
+		}
+	}
+}
+
+func BenchmarkTable10SolverOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var total time.Duration
+			for _, r := range rows {
+				total += r.Solve
+			}
+			b.ReportMetric(total.Seconds()/float64(len(rows)), "avg-solve-s")
+		}
+	}
+}
+
+// --- Extensions (paper §5 and §7) ---
+
+func BenchmarkExtSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.ExtSchemes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var pt4, gw4 float64
+			for _, r := range rows {
+				if r.Bits == 4 && r.Scheme == "per-tensor" {
+					pt4 = r.PPL
+				}
+				if r.Bits == 4 && r.Scheme == "group-wise/16" {
+					gw4 = r.PPL
+				}
+			}
+			b.ReportMetric(pt4-gw4, "groupwise-ppl-recovery")
+		}
+	}
+}
+
+func BenchmarkExtLoader(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.ExtLoader()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(rows) > 3 {
+			b.ReportMetric(rows[0].PeakDRAM/rows[3].PeakDRAM, "dram-reduction-x")
+		}
+	}
+}
+
+func BenchmarkExtTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.ExtTP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(rows) == 2 {
+			b.ReportMetric(rows[1].TokS/rows[1].BaseTokS, "tp-speedup-deep-pipeline-x")
+		}
+	}
+}
+
+func BenchmarkExtOnline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, pts, err := experiments.ExtOnline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var hi4, hi8 float64
+			for _, p := range pts {
+				if p.Arrival == 24 && p.Bits == 4 {
+					hi4 = p.Stats.Throughput
+				}
+				if p.Arrival == 24 && p.Bits == 8 {
+					hi8 = p.Stats.Throughput
+				}
+			}
+			if hi8 > 0 {
+				b.ReportMetric(hi4/hi8, "int4/int8-highload-x")
+			}
+		}
+	}
+}
+
+func BenchmarkExtTrained(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.ExtTrained()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Scheme == "int8" {
+					b.ReportMetric(r.Acc*100, "trained-int8-agreement-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExtKVCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.ExtKVCache()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var fp16, int8 float64
+			for _, r := range rows {
+				if r.Cluster == 1 && r.KVBits == 16 {
+					fp16 = r.TokS
+				}
+				if r.Cluster == 1 && r.KVBits == 8 {
+					int8 = r.TokS
+				}
+			}
+			if fp16 > 0 {
+				b.ReportMetric(int8/fp16, "int8kv-speedup-x")
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func ablationSpec(method assigner.Method) *assigner.Spec {
+	cl, _ := hardware.ClusterByID(3)
+	cfg, _ := model.ByName("opt-30b")
+	return &assigner.Spec{
+		Cfg: cfg, Cluster: cl,
+		Work:   assigner.Workload{GlobalBatch: 32, Prompt: 512, Generate: 100},
+		Bits:   []int{3, 4, 8, 16},
+		Omega:  indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 42),
+		Theta:  1,
+		Method: method,
+	}
+}
+
+// BenchmarkAblationStructuredVsILP compares the structured DP against the
+// generic branch-and-bound MILP on a small instance (the DP's exactness is
+// asserted in assigner tests; this reports the speed gap).
+func BenchmarkAblationStructuredVsILP(b *testing.B) {
+	small := model.Config{Name: "ablation", Family: model.OPT, Hidden: 2048, FFN: 8192,
+		Layers: 6, Heads: 16, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true}
+	mk := func(m assigner.Method) *assigner.Spec {
+		cl, _ := hardware.NewCluster([]string{"T4", "V100"}, []int{1, 1}, hardware.Eth800Gbps, "ablation")
+		return &assigner.Spec{
+			Cfg: small, Cluster: cl,
+			Work:                assigner.Workload{GlobalBatch: 4, Prompt: 128, Generate: 8},
+			Bits:                []int{4, 16},
+			Omega:               subsetOmega(indicator.Synthetic(small, []int{3, 4, 8, 16}, 7), []int{4, 16}),
+			Theta:               0.01,
+			Method:              m,
+			PrefillMicroBatches: []int{2},
+			TimeLimit:           60 * time.Second,
+		}
+	}
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assigner.Optimize(mk(assigner.MethodDP), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ilp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assigner.Optimize(mk(assigner.MethodILP), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func subsetOmega(o indicator.Omega, bits []int) indicator.Omega {
+	out := indicator.Omega{Bits: bits}
+	for l := 0; l < o.Layers(); l++ {
+		row := make([]float64, len(bits))
+		for i, bb := range bits {
+			v, _ := o.At(l, bb)
+			row[i] = v
+		}
+		out.Values = append(out.Values, row)
+	}
+	return out
+}
+
+// BenchmarkAblationPhaseAware quantifies the value of modelling both
+// phases: the LLM-PQ plan vs the prefill-only PipeEdge partition, executed
+// on the same runtime.
+func BenchmarkAblationPhaseAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := ablationSpec(assigner.MethodDP)
+		res, err := assigner.Optimize(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sPE := ablationSpec(assigner.MethodDP)
+		pePlan, _, err := baselines.PipeEdge(sPE, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			engPQ, err := runtime.NewEngine(s, res.Plan, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stPQ, err := engPQ.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			engPE, err := runtime.NewEngine(sPE, pePlan, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stPE, err := engPE.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(stPQ.Throughput/stPE.Throughput, "phase-aware-speedup-x")
+		}
+	}
+}
+
+// BenchmarkAblationMicrobatch quantifies Optimization #1: enumerating
+// prefill micro-batches vs pinning them to the global batch.
+func BenchmarkAblationMicrobatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := ablationSpec(assigner.MethodDP)
+		pinned := ablationSpec(assigner.MethodDP)
+		pinned.PrefillMicroBatches = []int{pinned.Work.GlobalBatch}
+		rFull, err := assigner.Optimize(full, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rPinned, err := assigner.Optimize(pinned, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rPinned.Eval.LatencySec/rFull.Eval.LatencySec, "microbatch-latency-gain-x")
+		}
+	}
+}
+
+// BenchmarkAblationGrouping quantifies Optimization #2 on a 176b-scale
+// instance: solve time and objective, group=1 vs group=2.
+func BenchmarkAblationGrouping(b *testing.B) {
+	mk := func(group int) *assigner.Spec {
+		cl, _ := hardware.ClusterByID(8)
+		cfg, _ := model.ByName("bloom-176b")
+		omega := indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 42)
+		return &assigner.Spec{
+			Cfg: cfg, Cluster: cl,
+			Work:                assigner.Workload{GlobalBatch: 32, Prompt: 512, Generate: 100},
+			Bits:                []int{3, 4, 8, 16},
+			Omega:               assigner.GroupOmega(omega, group),
+			Theta:               10,
+			Group:               group,
+			Method:              assigner.MethodDP,
+			PrefillMicroBatches: []int{1, 2, 4},
+		}
+	}
+	b.Run("group=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assigner.Optimize(mk(1), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("group=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assigner.Optimize(mk(2), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

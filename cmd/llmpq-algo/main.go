@@ -1,0 +1,126 @@
+// Command llmpq-algo generates an optimized inference execution plan for a
+// model on a (possibly heterogeneous) cluster — the paper's plan-generation
+// entry point (§5):
+//
+//	llmpq-algo -model-name opt-30b -device-names T4,V100 -device-numbers 3,1 \
+//	    -global-bz 32 -s 512 -n 100 -theta 1 -o strategy.json
+//
+// or against one of the paper's Table 3 clusters:
+//
+//	llmpq-algo -cluster 3 -o strategy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/assigner"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model-name", "", "model (opt-13b, opt-30b, opt-66b, bloom-176b, ...)")
+		devNames  = flag.String("device-names", "", "comma-separated device types (T4,P100,V100,A100-40G,A800-80G)")
+		devNums   = flag.String("device-numbers", "", "comma-separated counts per device type")
+		cluster   = flag.Int("cluster", 0, "use a Table-3 cluster (1..11) instead of device lists")
+		inter     = flag.String("interconnect", "eth800", "inter-node link: nvlink | eth800 | eth100")
+		globalBZ  = flag.Int("global-bz", 32, "global batch size")
+		s         = flag.Int("s", 512, "padded prompt length")
+		n         = flag.Int("n", 100, "tokens generated per request")
+		theta     = flag.Float64("theta", 1, "quality scalar θ (larger = favour model quality)")
+		group     = flag.Int("group", 1, "layer grouping (Optimization #2)")
+		method    = flag.String("method", "dp", "solver: dp | ilp | heuristic | adabits")
+		limit     = flag.Duration("time-limit", 60*time.Second, "ILP time limit")
+		omega     = flag.String("omega-file", "", "JSON sensitivity table (default: synthetic)")
+		kvBits    = flag.Int("kv-bits", 16, "KV-cache precision: 16 (FP16) or 8 (INT8 KV, extension)")
+		out       = flag.String("o", "strategy.json", "output strategy file")
+		serve     = flag.Bool("serve", false, "also execute the plan on the simulated runtime")
+	)
+	flag.Parse()
+
+	req := core.Request{
+		ModelName: *modelName, ClusterID: *cluster, Interconnect: *inter,
+		GlobalBatch: *globalBZ, PromptLen: *s, Generate: *n,
+		Theta: *theta, Group: *group, TimeLimit: *limit, OmegaFile: *omega,
+		KVBits: *kvBits,
+	}
+	switch *method {
+	case "dp":
+		req.Method = assigner.MethodDP
+	case "ilp":
+		req.Method = assigner.MethodILP
+	case "heuristic":
+		req.Method = assigner.MethodHeuristic
+	case "adabits":
+		req.Method = assigner.MethodAdabits
+	default:
+		fatalf("unknown method %q", *method)
+	}
+	if *cluster == 0 {
+		names, nums, err := parseDevices(*devNames, *devNums)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.DeviceNames, req.DeviceNumbers = names, nums
+	}
+
+	spec, res, err := core.Plan(req)
+	if err != nil {
+		fatalf("planning failed: %v", err)
+	}
+	p := res.Plan
+	fmt.Printf("model      %s on %s (%d devices)\n", spec.Cfg.Name, spec.Cluster.Name, spec.Cluster.NumDevices())
+	fmt.Printf("solve      %v (%d order/micro-batch combinations)\n", res.Solve, res.Explored)
+	fmt.Printf("micro-batch prefill=%d decode=%d\n", p.PrefillMB, p.DecodeMB)
+	fmt.Printf("objective  %.4f  (latency %.2fs + θ·ω %.4f)\n", res.Eval.Objective, res.Eval.LatencySec, spec.Theta*res.Eval.OmegaSum)
+	fmt.Print(p.Describe(spec, &res.Eval))
+	if ppl, err := core.PredictPPL(spec, p); err == nil {
+		fmt.Printf("predicted PPL %.2f\n", ppl)
+	}
+	if err := core.SaveStrategy(*out, core.Strategy{Request: req, Plan: p}); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("strategy written to %s\n", *out)
+
+	if *serve {
+		st, err := core.Serve(spec, p)
+		if err != nil {
+			fatalf("serving failed: %v", err)
+		}
+		fmt.Printf("simulated: latency %.2fs, throughput %.2f token/s, %d events\n",
+			st.LatencySec, st.Throughput, st.Events)
+	}
+}
+
+func parseDevices(names, nums string) ([]string, []int, error) {
+	if names == "" || nums == "" {
+		return nil, nil, fmt.Errorf("need -device-names and -device-numbers (or -cluster)")
+	}
+	ns := strings.Split(names, ",")
+	cs := strings.Split(nums, ",")
+	if len(ns) != len(cs) {
+		return nil, nil, fmt.Errorf("%d device names but %d counts", len(ns), len(cs))
+	}
+	counts := make([]int, len(cs))
+	for i, c := range cs {
+		v, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad count %q: %v", c, err)
+		}
+		counts[i] = v
+	}
+	for i := range ns {
+		ns[i] = strings.TrimSpace(ns[i])
+	}
+	return ns, counts, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llmpq-algo: "+format+"\n", args...)
+	os.Exit(1)
+}

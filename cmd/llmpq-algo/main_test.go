@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseDevices(t *testing.T) {
+	names, counts, err := parseDevices("T4, V100", "3, 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "T4" || names[1] != "V100" {
+		t.Errorf("names %v", names)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+	if _, _, err := parseDevices("", ""); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, _, err := parseDevices("T4,V100", "3"); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, _, err := parseDevices("T4", "three"); err == nil {
+		t.Error("expected parse error")
+	}
+}

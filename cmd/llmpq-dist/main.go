@@ -1,0 +1,77 @@
+// Command llmpq-dist executes a strategy file produced by llmpq-algo on
+// the distributed pipeline runtime — the paper's launch entry point (§5):
+//
+//	llmpq-dist -strat-file strategy.json
+//
+// The runtime is the deterministic cluster simulation (DESIGN.md §3):
+// master engine, per-stage workers, asynchronous stage-to-stage transfers
+// and KV-cache reservation, with OOM detection at model-load time.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+func main() {
+	var (
+		stratFile = flag.String("strat-file", "strategy.json", "strategy file from llmpq-algo")
+		verbose   = flag.Bool("v", false, "print per-stage utilization")
+		gantt     = flag.Bool("gantt", false, "render the per-stage execution timeline")
+	)
+	flag.Parse()
+
+	strat, err := core.LoadStrategy(*stratFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec, err := core.BuildSpec(strat.Request)
+	if err != nil {
+		fatalf("rebuild spec: %v", err)
+	}
+	if err := strat.Plan.Validate(spec); err != nil {
+		fatalf("strategy does not match its cluster/model: %v", err)
+	}
+	eng, err := runtime.NewEngine(spec, strat.Plan, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	eng.Trace = *gantt
+	st, err := eng.Run()
+	var oom *runtime.OOMError
+	if errors.As(err, &oom) {
+		fatalf("out of memory: %v", oom)
+	}
+	if err != nil {
+		fatalf("serving failed: %v", err)
+	}
+	fmt.Printf("model        %s on %s\n", spec.Cfg.Name, spec.Cluster.Name)
+	fmt.Printf("workload     batch=%d prompt=%d generate=%d\n",
+		spec.Work.GlobalBatch, spec.Work.Prompt, spec.Work.Generate)
+	fmt.Printf("latency      %.2f s (prefill %.2f s)\n", st.LatencySec, st.PrefillSec)
+	fmt.Printf("throughput   %.2f token/s (%d tokens)\n", st.Throughput, st.TokensOut)
+	if *verbose {
+		for j := range st.StageBusy {
+			fmt.Printf("stage %d      busy %.2fs (%.0f%%), reserved %.1f GB\n",
+				j, st.StageBusy[j], st.Utilization[j]*100, st.StageMemGB[j])
+		}
+		fmt.Printf("events       %d\n", st.Events)
+	}
+	if *gantt {
+		out, err := runtime.RenderGantt(st.Trace, strat.Plan.NumStages(), st.LatencySec, 100)
+		if err != nil {
+			fatalf("gantt: %v", err)
+		}
+		fmt.Print(out)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llmpq-dist: "+format+"\n", args...)
+	os.Exit(1)
+}

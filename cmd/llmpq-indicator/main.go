@@ -1,0 +1,94 @@
+// Command llmpq-indicator produces the per-(layer, bitwidth) sensitivity
+// table ω that llmpq-algo consumes via -omega-file — the paper's Indicator
+// Generator component (§3, §4.2):
+//
+//	llmpq-indicator -model-name opt-30b -o omega.json          # synthetic (big models)
+//	llmpq-indicator -reference -method variance -o omega.json  # from the reference net
+//	llmpq-indicator -reference -method hessian -o omega.json   # the expensive baseline
+//
+// For full-size models (no weights available in this substrate) the table
+// is synthesized from the model's shape; for the reference transformer it
+// is computed from real weights and calibrated activations, with the
+// variance indicator (Prop. 2), the Hessian probe, or random assignment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model-name", "", "full-size model for a synthetic table (opt-13b, ...)")
+		reference = flag.Bool("reference", false, "compute from the reference transformer instead")
+		method    = flag.String("method", "variance", "reference indicator: variance | hessian | random")
+		seed      = flag.Int64("seed", 42, "seed for synthetic/random tables and calibration data")
+		out       = flag.String("o", "omega.json", "output file")
+	)
+	flag.Parse()
+	bits := []int{3, 4, 8, 16}
+
+	var omega indicator.Omega
+	start := time.Now()
+	switch {
+	case *reference:
+		cfg := nn.TinyOPT
+		m, err := nn.New(cfg, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rng := rand.New(rand.NewSource(*seed + 1))
+		var calib [][]int
+		for i := 0; i < 3; i++ {
+			seq, err := m.Generate([]int{i + 1, 2}, 32, 0.7, rng)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			calib = append(calib, seq)
+		}
+		if err := m.CalibrateStats(calib[0]); err != nil {
+			fatalf("%v", err)
+		}
+		switch *method {
+		case "variance":
+			omega, err = indicator.Variance(m, bits, quant.Deterministic)
+		case "hessian":
+			omega, err = indicator.Hessian(m, bits, calib)
+		case "random":
+			omega = indicator.Random(cfg.Layers, bits, *seed)
+		default:
+			fatalf("unknown method %q (variance|hessian|random)", *method)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("computed %s indicator for the %d-layer reference model in %v\n", *method, cfg.Layers, time.Since(start))
+	case *modelName != "":
+		cfg, err := model.ByName(*modelName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		omega = indicator.Synthetic(cfg, bits, *seed)
+		fmt.Printf("synthesized sensitivity table for %s (%d layers)\n", cfg.Name, cfg.Layers)
+	default:
+		fatalf("need -model-name or -reference")
+	}
+	if err := core.SaveOmega(*out, omega); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("omega table (%d layers x %v bits) written to %s\n", omega.Layers(), bits, *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llmpq-indicator: "+format+"\n", args...)
+	os.Exit(1)
+}

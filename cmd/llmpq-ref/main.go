@@ -1,0 +1,164 @@
+// Command llmpq-ref trains, evaluates, and runs the pure-Go reference
+// transformer — the real-arithmetic substrate behind the repo's quality
+// numbers:
+//
+//	llmpq-ref train -steps 200 -o model.ckpt      # backprop on a Markov corpus
+//	llmpq-ref eval -model model.ckpt -bits 4      # quantized quality of a checkpoint
+//	llmpq-ref generate -model model.ckpt -n 24    # greedy generation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "generate":
+		cmdGenerate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: llmpq-ref <train|eval|generate> [flags]")
+	os.Exit(2)
+}
+
+var refCfg = nn.Config{Vocab: 48, Hidden: 32, FFN: 128, Layers: 4, Heads: 4, MaxSeq: 48, SensitivitySlope: 1}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	steps := fs.Int("steps", 200, "Adam steps (8 fresh sequences each)")
+	lr := fs.Float64("lr", 3e-3, "learning rate")
+	seed := fs.Int64("seed", 42, "model + corpus seed")
+	out := fs.String("o", "model.ckpt", "checkpoint output")
+	fs.Parse(args)
+
+	m, err := nn.New(refCfg, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := nn.NewTrainer(m, *lr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	corpus := nn.MarkovCorpus(refCfg.Vocab, *steps*8+8, refCfg.MaxSeq/2, *seed+1)
+	start := time.Now()
+	var loss float64
+	for s := 0; s < *steps; s++ {
+		loss, err = tr.Step(corpus[s*8 : (s+1)*8])
+		if err != nil {
+			fatalf("step %d: %v", s, err)
+		}
+		if s%50 == 0 || s == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f\n", s, loss)
+		}
+	}
+	var heldCE float64
+	for _, seq := range corpus[*steps*8:] {
+		ce, err := m.CrossEntropy(seq)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		heldCE += ce
+	}
+	heldCE /= 8
+	fmt.Printf("trained %d steps in %v; held-out CE %.4f (chance %.4f)\n",
+		*steps, time.Since(start).Round(time.Millisecond), heldCE, lnf(refCfg.Vocab))
+	if err := m.Save(*out); err != nil {
+		fatalf("save: %v", err)
+	}
+	fmt.Printf("checkpoint written to %s\n", *out)
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	path := fs.String("model", "model.ckpt", "checkpoint to evaluate")
+	bits := fs.Int("bits", 16, "uniform weight precision (3/4/8/16)")
+	scheme := fs.String("scheme", "per-tensor", "per-tensor | per-channel | group-wise")
+	group := fs.Int("group", 16, "group size for group-wise")
+	seed := fs.Int64("seed", 42, "evaluation corpus seed")
+	fs.Parse(args)
+
+	m, err := nn.Load(*path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *bits != 16 {
+		sc := map[string]quant.Scheme{"per-tensor": quant.PerTensor, "per-channel": quant.PerChannel, "group-wise": quant.GroupWise}[*scheme]
+		for i := range m.Layers {
+			if err := m.SetLayerScheme(i, *bits, sc, *group, quant.Deterministic, nil); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	eval := nn.MarkovCorpus(m.Cfg.Vocab, 8, m.Cfg.MaxSeq/2, *seed+1)
+	var total float64
+	for _, seq := range eval {
+		ce, err := m.CrossEntropy(seq)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		total += ce
+	}
+	ce := total / float64(len(eval))
+	fmt.Printf("model %s @ %d-bit (%s): CE %.4f, PPL %.3f\n", *path, *bits, *scheme, ce, exp(ce))
+}
+
+func cmdGenerate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	path := fs.String("model", "model.ckpt", "checkpoint")
+	n := fs.Int("n", 24, "tokens to generate")
+	fs.Parse(args)
+
+	m, err := nn.Load(*path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prompt := []int{1, 2, 3}
+	cache := m.NewCache()
+	logits, err := m.Forward(prompt, cache)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	seq := append([]int(nil), prompt...)
+	for i := 0; i < *n && len(seq) < m.Cfg.MaxSeq; i++ {
+		row := logits.Row(logits.Rows - 1)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		seq = append(seq, best)
+		logits, err = m.Forward([]int{best}, cache)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("prompt %v → %v\n", prompt, seq[len(prompt):])
+}
+
+func lnf(v int) float64 { return math.Log(float64(v)) }
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llmpq-ref: "+format+"\n", args...)
+	os.Exit(1)
+}

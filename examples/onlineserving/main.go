@@ -1,0 +1,38 @@
+// Online serving trade-off (§7): under vLLM/ORCA-style continuous
+// batching, weight precision trades kernel speed against paged-KV memory.
+// This example sweeps precision × arrival rate on one V100 serving
+// OPT-13b and prints where each precision wins.
+//
+//	go run ./examples/onlineserving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/online"
+)
+
+func main() {
+	fmt.Println("§7 extension: online serving on 1xV100, OPT-13b, 48 tokens per request")
+	fmt.Println()
+	pts, err := online.Sweep(hardware.V100, model.OPT13B, []int{4, 8, 16}, []float64{0.5, 4, 24}, 48, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-11s %10s %11s %13s %14s\n", "bits", "arrivals/s", "tok/s", "mean batch", "p95 lat (s)", "KV cap (tok)")
+	for _, p := range pts {
+		fmt.Printf("%-6d %-11.1f %10.1f %11.1f %13.1f %14d\n",
+			p.Bits, p.Arrival, p.Stats.Throughput, p.Stats.MeanBatch,
+			p.Stats.P95Latency, p.Stats.KVCapacityTok)
+	}
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("- FP16 weights leave a sliver of paged-KV (≈2.3k tokens): fine at low load,")
+	fmt.Println("  but under heavy load its batches stop growing and throughput collapses")
+	fmt.Println("- INT8/INT4 free 8-11x more KV pages; their batches scale with load")
+	fmt.Println("- on V100, INT8 beats INT4 at high load (slower INT4 kernels outweigh extra KV) —")
+	fmt.Println("  the speed-vs-memory trade-off the paper says an online LLM-PQ must re-optimize")
+}

@@ -1,0 +1,49 @@
+// Quickstart: plan and serve OPT-13b on a single V100 — the paper's
+// cluster 1 — in a dozen lines of the core API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// Ask LLM-PQ for an execution plan: model, devices, offline workload.
+	spec, res, err := core.Plan(core.Request{
+		ModelName:     "opt-13b",
+		DeviceNames:   []string{"V100"},
+		DeviceNumbers: []int{1},
+		GlobalBatch:   32,
+		PromptLen:     512,
+		Generate:      100,
+		Theta:         1, // balance latency against model quality
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := res.Plan
+	fmt.Printf("planned in %v\n", res.Solve)
+	fmt.Printf("micro-batches: prefill=%d decode=%d\n", plan.PrefillMB, plan.DecodeMB)
+	hist := map[int]int{}
+	for _, b := range plan.GroupBits {
+		hist[b]++
+	}
+	fmt.Printf("bit assignment: %v (V100 memory is too small for FP16+KV —\n", hist)
+	fmt.Println("the assigner quantizes exactly enough layers to fit)")
+
+	// Execute the plan on the simulated distributed runtime.
+	stats, err := core.Serve(spec, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ppl, err := core.PredictPPL(spec, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d tokens in %.2fs → %.2f token/s, predicted PPL %.2f\n",
+		stats.TokensOut, stats.LatencySec, stats.Throughput, ppl)
+}

@@ -1,0 +1,81 @@
+// Tensor-parallelism search (§7): when is it better to fuse devices into
+// TP groups instead of deepening the pipeline? This example runs the mesh
+// search on two settings — a healthy pipeline and a pathologically deep
+// one — and prints the chosen mesh for each.
+//
+//	go run ./examples/tpsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/assigner"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/tp"
+)
+
+func main() {
+	fmt.Println("§7 extension: search over TP meshes (fused devices) + pipeline partition")
+	fmt.Println()
+
+	// Setting 1: 4xV100 on one NVLink node serving OPT-66b. Even with 64
+	// layers over 4 stages, decode rounds are latency-dominated per hop,
+	// so fusing into one TP-4 device can beat the pipeline.
+	c10, err := hardware.ClusterByID(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg66, err := model.ByName("opt-66b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("4xV100 serving opt-66b (64 layers)", spec(c10, cfg66))
+
+	// Setting 2: 8xV100 serving a 12-layer model over 100 Gbps Ethernet —
+	// a depth-8 pipeline of 1-2 layer stages drowns in per-hop transfers;
+	// fusing into TP groups collapses the pipeline.
+	shallow := model.Config{Name: "opt-13b", Family: model.OPT, Hidden: 5120, FFN: 20480,
+		Layers: 12, Heads: 40, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true}
+	cl, err := hardware.NewCluster([]string{"V100"}, []int{8}, hardware.Eth100Gbps, "deep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("8xV100 serving a 12-layer model (deep-pipeline pathology)", spec(cl, shallow))
+}
+
+func spec(cl hardware.Cluster, cfg model.Config) *assigner.Spec {
+	return &assigner.Spec{
+		Cfg: cfg, Cluster: cl,
+		Work:                assigner.Workload{GlobalBatch: 32, Prompt: 512, Generate: 100},
+		Bits:                []int{3, 4, 8, 16},
+		Omega:               indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 42),
+		Theta:               1,
+		Method:              assigner.MethodDP,
+		PrefillMicroBatches: []int{1, 4},
+	}
+}
+
+func show(name string, s *assigner.Spec) {
+	base, err := assigner.Optimize(s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clone := *s
+	res, err := tp.Optimize(&clone, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  pipeline-only: %.2f token/s over %d stages\n", base.Eval.Throughput, base.Plan.NumStages())
+	fmt.Printf("  best mesh:     %s → %.2f token/s over %d stages (%d meshes searched)\n",
+		res.Mesh.Desc, res.Eval.Throughput, res.Plan.NumStages(), res.Tried)
+	if res.Eval.Throughput > base.Eval.Throughput*1.01 {
+		fmt.Printf("  TP wins %.2fx: the pipeline was too deep for the layer count\n", res.Eval.Throughput/base.Eval.Throughput)
+	} else {
+		fmt.Println("  pipeline wins: TP's all-reduce tax exceeds the bubble savings")
+	}
+	fmt.Println()
+}

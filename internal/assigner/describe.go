@@ -1,0 +1,52 @@
+package assigner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders a human-readable summary of the plan against its spec:
+// per-stage device, layer range, bit histogram, and memory utilization
+// when an evaluation is supplied.
+func (p *Plan) Describe(s *Spec, ev *Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d stages, micro-batch prefill=%d decode=%d\n",
+		s.Cfg.Name, s.Cluster.Name, p.NumStages(), p.PrefillMB, p.DecodeMB)
+	for j := 0; j < p.NumStages(); j++ {
+		lo, hi, err := p.StageRange(j)
+		if err != nil {
+			fmt.Fprintf(&b, "stage %d: <%v>\n", j, err)
+			continue
+		}
+		d := s.Cluster.Devices[p.Order[j]]
+		fmt.Fprintf(&b, "  stage %d: %-9s groups [%d,%d) bits %s", j, d.GPU.Name, lo, hi, bitHist(p.GroupBits[lo:hi]))
+		if ev != nil && j < len(ev.MemUtil) {
+			fmt.Fprintf(&b, "  mem %.0f%%", ev.MemUtil[j]*100)
+		}
+		b.WriteString("\n")
+	}
+	if ev != nil {
+		fmt.Fprintf(&b, "  est. latency %.2fs, throughput %.2f tok/s, ω %.4f\n",
+			ev.LatencySec, ev.Throughput, ev.OmegaSum)
+	}
+	return b.String()
+}
+
+// bitHist formats a bit multiset as "16x8 3x16" style counts.
+func bitHist(bits []int) string {
+	counts := map[int]int{}
+	for _, b := range bits {
+		counts[b]++
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%dx%db", counts[k], k))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,35 @@
+package assigner
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	s := tinySpec(MethodDP, 1, 2.2, 1.4)
+	res, err := Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Plan.Describe(s, &res.Eval)
+	for _, want := range []string{"tiny-test", "stage 0", "stage 1", "tok/s", "mem "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+	// Without an evaluation: no memory/latency lines.
+	bare := res.Plan.Describe(s, nil)
+	if strings.Contains(bare, "tok/s") {
+		t.Error("bare describe should omit evaluation details")
+	}
+	if !strings.Contains(bare, "groups [") {
+		t.Errorf("bare describe missing stage ranges:\n%s", bare)
+	}
+}
+
+func TestBitHist(t *testing.T) {
+	got := bitHist([]int{8, 8, 16, 8})
+	if got != "1x16b 3x8b" {
+		t.Errorf("bitHist = %q", got)
+	}
+}

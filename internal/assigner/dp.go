@@ -1,0 +1,401 @@
+package assigner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The structured DP solver (DESIGN.md §5.1).
+//
+// Because every decoder layer of an LLM has identical shape, a stage's
+// execution time and memory depend only on *how many* of its groups use
+// each bitwidth — not on which ones. Sensitivity ω varies per group, so
+// once per-bit counts are fixed, giving the higher precision to the most
+// sensitive groups in the stage's range is optimal (exchange argument).
+//
+// Stages are restricted to at most two distinct precisions. This mirrors
+// the mixtures the paper observes in practice (e.g. INT8+FP16 when memory
+// remains after uniform INT8, §2.4) and is verified against the full MILP
+// on small instances in tests.
+//
+// The pipeline-max terms ((k_p−1)·max_j t_pre,j etc.) are handled by an
+// ε-constraint scan: the DP minimizes the additive objective subject to
+// per-stage time caps, and the caps are swept over a grid derived from the
+// unconstrained solution; every candidate plan is re-scored exactly with
+// Evaluate and the true best kept.
+
+// StageConstants exposes the position-dependent stage constants to other
+// planners (the baselines build their own partitions over the same cost
+// tables).
+func StageConstants(t *Tables, order []int, j int) (pre, dec, mem float64) {
+	return stageConst(t, order, j)
+}
+
+// stageConst returns the position-dependent constants of stage j under a
+// device order: extra prefill/decode time (embedding, comm hops) and extra
+// memory (embedding table, LM head, temporaries).
+func stageConst(t *Tables, order []int, j int) (pre, dec, mem float64) {
+	n := len(order)
+	d := order[j]
+	if j == 0 {
+		pre += t.EmbedPre
+		dec += t.EmbedDec
+		mem += t.EmbedMem
+	}
+	if j == n-1 {
+		mem += t.HeadMem
+		if n > 1 {
+			pre += t.CommDec[d][order[0]]
+			dec += t.CommDec[d][order[0]]
+		}
+	}
+	if j < n-1 {
+		pre += t.CommPre[d][order[j+1]]
+		dec += t.CommDec[d][order[j+1]]
+	}
+	mem += t.TempMem
+	return pre, dec, mem
+}
+
+// pairOption is one stage precision mixture: cntB groups at Bits[biB]
+// (higher precision), the remaining groups at Bits[biA].
+type pairOption struct {
+	biA, biB int
+	cntB     int
+}
+
+// benefitTable precomputes, for each bit pair and each range start, the
+// ω savings of upgrading groups from bits A to bits B, sorted descending,
+// as prefix sums. benefit[pair][lo] covers ranges starting at lo.
+type benefitTable struct {
+	pairs [][2]int // index pairs (biA, biB), biA < biB by index
+	// base[biA][lo] = prefix sums of ω(l, bitsA): baseSum(lo,hi) fast.
+	base [][]float64
+	// prefix[pi][lo][hi-lo]: sorted-benefit prefix sums for range [lo,hi).
+	prefix [][][]float64
+}
+
+func buildBenefits(s *Spec, kmax int) (*benefitTable, error) {
+	nb := len(s.Bits)
+	L := s.layerGroups()
+	bt := &benefitTable{}
+	for a := 0; a < nb; a++ {
+		for b := a + 1; b < nb; b++ {
+			bt.pairs = append(bt.pairs, [2]int{a, b})
+		}
+	}
+	bt.base = make([][]float64, nb)
+	for bi, bits := range s.Bits {
+		ps := make([]float64, L+1)
+		for l := 0; l < L; l++ {
+			w, err := s.Omega.At(l, bits)
+			if err != nil {
+				return nil, err
+			}
+			ps[l+1] = ps[l] + w
+		}
+		bt.base[bi] = ps
+	}
+	bt.prefix = make([][][]float64, len(bt.pairs))
+	for pi, pr := range bt.pairs {
+		bt.prefix[pi] = make([][]float64, L)
+		bitsA, bitsB := s.Bits[pr[0]], s.Bits[pr[1]]
+		for lo := 0; lo < L; lo++ {
+			hiMax := lo + kmax
+			if hiMax > L {
+				hiMax = L
+			}
+			benefits := make([]float64, 0, hiMax-lo)
+			for l := lo; l < hiMax; l++ {
+				wa, err := s.Omega.At(l, bitsA)
+				if err != nil {
+					return nil, err
+				}
+				wb, err := s.Omega.At(l, bitsB)
+				if err != nil {
+					return nil, err
+				}
+				benefits = append(benefits, wa-wb)
+			}
+			// For each sub-range [lo,hi) we need its own sorted prefix; we
+			// store per (lo, k) the prefix sums of the k largest benefits
+			// among the first k entries. Computing per k by re-sorting is
+			// O(k² log k) per lo; keep k small via kmax.
+			rows := make([]float64, 0)
+			_ = rows
+			prefixes := make([][]float64, hiMax-lo+1)
+			for k := 1; k <= hiMax-lo; k++ {
+				sub := append([]float64(nil), benefits[:k]...)
+				sort.Sort(sort.Reverse(sort.Float64Slice(sub)))
+				ps := make([]float64, k+1)
+				for i, v := range sub {
+					ps[i+1] = ps[i] + v
+				}
+				prefixes[k] = ps
+			}
+			bt.prefix[pi][lo] = flatten(prefixes)
+			_ = bitsB
+			_ = bitsA
+		}
+	}
+	return bt, nil
+}
+
+// flatten packs per-k prefix arrays into one slice with offsets k(k+1)/2.
+func flatten(prefixes [][]float64) []float64 {
+	var out []float64
+	for k := 1; k < len(prefixes); k++ {
+		out = append(out, prefixes[k]...)
+	}
+	return out
+}
+
+// omegaFor returns the minimum ω of range [lo, lo+k) with cntB groups at
+// pair's high bit and k-cntB at the low bit, plus which groups to upgrade.
+func (bt *benefitTable) omegaFor(pi, lo, k, cntB int) float64 {
+	pr := bt.pairs[pi]
+	base := bt.base[pr[0]][lo+k] - bt.base[pr[0]][lo]
+	// Locate prefix sums for this k: offset = Σ_{i=1}^{k-1} (i+1).
+	off := 0
+	for i := 1; i < k; i++ {
+		off += i + 1
+	}
+	ps := bt.prefix[pi][lo][off : off+k+1]
+	return base - ps[cntB]
+}
+
+// upgradedSet returns the cntB group indices in [lo,lo+k) with the largest
+// upgrade benefit for pair pi (recomputed directly; reconstruction only).
+func upgradedSet(s *Spec, pi int, bt *benefitTable, lo, k, cntB int) ([]int, error) {
+	pr := bt.pairs[pi]
+	bitsA, bitsB := s.Bits[pr[0]], s.Bits[pr[1]]
+	type lb struct {
+		idx int
+		ben float64
+	}
+	var arr []lb
+	for l := lo; l < lo+k; l++ {
+		wa, err := s.Omega.At(l, bitsA)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := s.Omega.At(l, bitsB)
+		if err != nil {
+			return nil, err
+		}
+		arr = append(arr, lb{l, wa - wb})
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].ben != arr[j].ben {
+			return arr[i].ben > arr[j].ben
+		}
+		return arr[i].idx < arr[j].idx
+	})
+	var out []int
+	for i := 0; i < cntB; i++ {
+		out = append(out, arr[i].idx)
+	}
+	return out, nil
+}
+
+type dpChoice struct {
+	k    int
+	pi   int
+	cntB int
+}
+
+// solveDP finds the best plan for a fixed device order and micro-batch
+// sizing under per-stage time caps. Returns nil if infeasible.
+func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec float64) (*Plan, error) {
+	s := t.Spec
+	n := len(order)
+	L := s.layerGroups()
+	const inf = math.MaxFloat64 / 4
+	dp := make([][]float64, n+1)
+	choice := make([][]dpChoice, n+1)
+	for j := range dp {
+		dp[j] = make([]float64, L+1)
+		choice[j] = make([]dpChoice, L+1)
+		for l := range dp[j] {
+			dp[j][l] = inf
+		}
+	}
+	dp[0][0] = 0
+	// Surrogate weights: the true objective charges the bottleneck stage
+	// (k_p−1)× extra prefill rounds and (rounds−1)× extra decode rounds.
+	// A balanced pipeline spreads that premium evenly across stages, so
+	// weighting every stage's time by 1 + extra/n steers the additive DP
+	// toward the right basin; the ε-cap scan plus exact re-evaluation
+	// still decide the final plan.
+	kp := (s.Work.GlobalBatch + t.PrefillMB - 1) / t.PrefillMB
+	kd := (s.Work.GlobalBatch + t.DecodeMB - 1) / t.DecodeMB
+	rounds := (s.Work.Generate - 1) * kd
+	preW := 1 + float64(kp-1)/float64(n)
+	decW := 1.0
+	if rounds > 0 {
+		decW = 1 + float64(rounds-1)/float64(n)
+	}
+	for j := 1; j <= n; j++ {
+		d := order[j-1]
+		cPre, cDec, cMem := stageConst(t, order, j-1)
+		capMem := t.Capacity[d] - cMem
+		for l := j; l <= L-(n-j); l++ {
+			for k := 1; k <= kmax && k <= l-(j-1); k++ {
+				prev := dp[j-1][l-k]
+				if prev >= inf {
+					continue
+				}
+				lo := l - k
+				for pi := range bt.pairs {
+					pr := bt.pairs[pi]
+					memA, memB := t.GroupMem[pr[0]], t.GroupMem[pr[1]]
+					preA, preB := t.TPre[d][pr[0]], t.TPre[d][pr[1]]
+					decA, decB := t.TDec[d][pr[0]], t.TDec[d][pr[1]]
+					for cntB := 0; cntB <= k; cntB++ {
+						cA := float64(k - cntB)
+						cB := float64(cntB)
+						mem := cA*memA + cB*memB
+						if mem > capMem {
+							continue
+						}
+						pre := cA*preA + cB*preB + cPre
+						if pre > capPre {
+							continue
+						}
+						dec := cA*decA + cB*decB + cDec
+						if dec > capDec {
+							continue
+						}
+						omega := bt.omegaFor(pi, lo, k, cntB)
+						cost := prev + preW*pre + decW*dec + s.Theta*omega
+						if cost < dp[j][l] {
+							dp[j][l] = cost
+							choice[j][l] = dpChoice{k: k, pi: pi, cntB: cntB}
+						}
+					}
+				}
+			}
+		}
+	}
+	if dp[n][L] >= inf {
+		return nil, nil
+	}
+	// Reconstruct.
+	p := &Plan{
+		Order:      append([]int(nil), order...),
+		Boundaries: make([]int, n+1),
+		GroupBits:  make([]int, L),
+		Group:      s.groupSize(),
+		PrefillMB:  t.PrefillMB,
+		DecodeMB:   t.DecodeMB,
+	}
+	l := L
+	p.Boundaries[n] = L
+	for j := n; j >= 1; j-- {
+		ch := choice[j][l]
+		lo := l - ch.k
+		p.Boundaries[j-1] = lo
+		pr := bt.pairs[ch.pi]
+		for g := lo; g < l; g++ {
+			p.GroupBits[g] = s.Bits[pr[0]]
+		}
+		up, err := upgradedSet(s, ch.pi, bt, lo, ch.k, ch.cntB)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range up {
+			p.GroupBits[g] = s.Bits[pr[1]]
+		}
+		l = lo
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("assigner: DP reconstruction consumed %d groups, expected 0 left", l)
+	}
+	return p, nil
+}
+
+// solveStructured runs the ε-constraint scan for one (order, tables) pair
+// and returns the best exactly-evaluated feasible plan, or nil.
+func solveStructured(t *Tables, order []int) (*Plan, *Evaluation, error) {
+	s := t.Spec
+	n := len(order)
+	kmax := s.layerGroups() - (n - 1)
+	perStage := (s.layerGroups() + n - 1) / n
+	if lim := 3*perStage + 2; lim < kmax {
+		kmax = lim
+	}
+	bt, err := buildBenefits(s, kmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	inf := math.MaxFloat64 / 8
+	// Unconstrained pass.
+	base, err := solveDP(t, order, bt, kmax, inf, inf)
+	if err != nil || base == nil {
+		return nil, nil, err
+	}
+	bestPlan := base
+	bestEv, err := Evaluate(t, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxPre, maxDec := maxOf(bestEv.StagePre), maxOf(bestEv.StageDec)
+	grid := [][2]float64{
+		{0.92, 0.92}, {0.82, 0.82}, {0.7, 0.7}, {0.55, 0.55}, {0.4, 0.4},
+		{1, 0.7}, {0.7, 1}, {1, 0.45}, {0.45, 1}, {0.85, 0.6}, {0.6, 0.85},
+	}
+	for _, fc := range grid {
+		p, err := solveDP(t, order, bt, kmax, fc[0]*maxPre, fc[1]*maxDec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if p == nil {
+			continue
+		}
+		ev, err := Evaluate(t, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ev.Feasible && ev.Objective < bestEv.Objective {
+			bestPlan, bestEv = p, ev
+		}
+	}
+	if !bestEv.Feasible {
+		return nil, nil, nil
+	}
+	// Local-search polish: the DP restricts stages to two precisions; a
+	// bitwidth-transfer pass (Algorithm 2's move set) recovers any gain a
+	// third precision or a cap the ε-grid missed could offer.
+	polished, pev, err := bitwidthTransfer(t, bestPlan)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pev.Feasible && pev.Objective < bestEv.Objective {
+		bestPlan, bestEv = polished, *pev
+	}
+	// Also descend from the adabits basin: guarantees MethodDP dominates
+	// both the pure-quantization baseline and the heuristic.
+	if seed, err := solveAdabits(t, order); err != nil {
+		return nil, nil, err
+	} else if seed != nil {
+		hplan, hev, err := bitwidthTransfer(t, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		if hev.Feasible && hev.Objective < bestEv.Objective {
+			bestPlan, bestEv = hplan, *hev
+		}
+	}
+	return bestPlan, &bestEv, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,153 @@
+package assigner
+
+import (
+	"fmt"
+
+	"repro/internal/indicator"
+)
+
+// Evaluation is the canonical scoring of a plan. Every solver, test, and
+// experiment scores plans through this one function so numbers are
+// comparable across methods and against the runtime.
+type Evaluation struct {
+	Feasible   bool
+	Violation  string // first memory violation, if any
+	StagePre   []float64
+	StageDec   []float64
+	StageMemGB []float64
+	MemUtil    []float64
+	PrefillSec float64
+	DecodeSec  float64
+	LatencySec float64
+	Throughput float64 // generated tokens per second
+	OmegaSum   float64
+	Objective  float64
+}
+
+// Evaluate scores a plan under the given tables.
+//
+// The pipeline model (paper eq. 4 discussion): with k_p prefill
+// micro-batches the prefill phase costs Σ_j t_pre,j + (k_p−1)·max_j t_pre,j
+// (fill + steady drain bounded by the slowest stage). Decode runs
+// (n−1)·k_d further micro-batch rounds through the slowest stage after a
+// one-pipeline fill, so it costs Σ_j t_dec,j + ((n−1)·k_d − 1)·max_j t_dec,j.
+func Evaluate(t *Tables, p *Plan) (Evaluation, error) {
+	s := t.Spec
+	if err := p.Validate(s); err != nil {
+		return Evaluation{}, err
+	}
+	if p.PrefillMB != t.PrefillMB {
+		return Evaluation{}, fmt.Errorf("assigner: plan prefill mb %d but tables built for %d", p.PrefillMB, t.PrefillMB)
+	}
+	n := p.NumStages()
+	ev := Evaluation{
+		Feasible:   true,
+		StagePre:   make([]float64, n),
+		StageDec:   make([]float64, n),
+		StageMemGB: make([]float64, n),
+		MemUtil:    make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		d := p.Order[j]
+		lo, hi, err := p.StageRange(j)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		var pre, dec, mem float64
+		for gIdx := lo; gIdx < hi; gIdx++ {
+			bi, err := t.bitIndex(p.GroupBits[gIdx])
+			if err != nil {
+				return Evaluation{}, err
+			}
+			pre += t.TPre[d][bi]
+			dec += t.TDec[d][bi]
+			mem += t.GroupMem[bi]
+			w, err := s.Omega.At(gIdx, p.GroupBits[gIdx])
+			if err != nil {
+				return Evaluation{}, err
+			}
+			ev.OmegaSum += w
+		}
+		if j == 0 {
+			pre += t.EmbedPre
+			dec += t.EmbedDec
+			mem += t.EmbedMem
+		}
+		if j == n-1 {
+			mem += t.HeadMem
+			if n > 1 {
+				// Return hop to the master engine (small: one token's
+				// hidden state per request).
+				pre += t.CommDec[d][p.Order[0]]
+				dec += t.CommDec[d][p.Order[0]]
+			}
+		}
+		if j < n-1 {
+			next := p.Order[j+1]
+			pre += t.CommPre[d][next]
+			dec += t.CommDec[d][next]
+		}
+		mem += t.TempMem
+		ev.StagePre[j] = pre
+		ev.StageDec[j] = dec
+		ev.StageMemGB[j] = mem / 1e9
+		ev.MemUtil[j] = mem / t.Capacity[d]
+		if mem > t.Capacity[d] && ev.Feasible {
+			ev.Feasible = false
+			ev.Violation = fmt.Sprintf("stage %d on device %d (%s): needs %.1fGB, capacity %.1fGB",
+				j, d, s.Cluster.Devices[d].GPU.Name, mem/1e9, t.Capacity[d]/1e9)
+		}
+	}
+	kp := (s.Work.GlobalBatch + t.PrefillMB - 1) / t.PrefillMB
+	kd := (s.Work.GlobalBatch + t.DecodeMB - 1) / t.DecodeMB
+	var maxPre, maxDec, sumPre, sumDec float64
+	for j := 0; j < n; j++ {
+		sumPre += ev.StagePre[j]
+		sumDec += ev.StageDec[j]
+		if ev.StagePre[j] > maxPre {
+			maxPre = ev.StagePre[j]
+		}
+		if ev.StageDec[j] > maxDec {
+			maxDec = ev.StageDec[j]
+		}
+	}
+	ev.PrefillSec = sumPre + float64(kp-1)*maxPre
+	rounds := (s.Work.Generate - 1) * kd
+	if rounds > 0 {
+		ev.DecodeSec = sumDec + float64(rounds-1)*maxDec
+	}
+	ev.LatencySec = ev.PrefillSec + ev.DecodeSec
+	ev.Throughput = float64(s.Work.GlobalBatch*s.Work.Generate) / ev.LatencySec
+	ev.Objective = ev.LatencySec + s.Theta*ev.OmegaSum
+	return ev, nil
+}
+
+// Finalize stamps evaluation results into the plan.
+func (p *Plan) Finalize(ev Evaluation) {
+	p.Objective = ev.Objective
+	p.LatencySec = ev.LatencySec
+	p.OmegaSum = ev.OmegaSum
+}
+
+// GroupOmega collapses a per-layer Omega into a per-group Omega by summing
+// members, matching Optimization #2 where a whole group shares one bit.
+func GroupOmega(o indicator.Omega, group int) indicator.Omega {
+	if group <= 1 {
+		return o
+	}
+	out := indicator.Omega{Bits: o.Bits}
+	for lo := 0; lo < o.Layers(); lo += group {
+		hi := lo + group
+		if hi > o.Layers() {
+			hi = o.Layers()
+		}
+		row := make([]float64, len(o.Bits))
+		for i := lo; i < hi; i++ {
+			for bi := range o.Bits {
+				row[bi] += o.Values[i][bi]
+			}
+		}
+		out.Values = append(out.Values, row)
+	}
+	return out
+}

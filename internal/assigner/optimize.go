@@ -1,0 +1,154 @@
+package assigner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hardware"
+)
+
+// Result bundles the best plan with its evaluation and solve metadata.
+type Result struct {
+	Plan     *Plan
+	Eval     Evaluation
+	Solve    time.Duration
+	Explored int // (order, micro-batch) combinations tried
+}
+
+// Optimize is Algorithm 1: enumerate candidate device orderings and
+// (phase, micro-batch size) pairs in the pruned search space; for each,
+// solve the inner bitwidth-assignment / layer-partition problem with the
+// spec's Method; return the plan with the best exact objective.
+func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if timer == nil {
+		timer = ProfilerTimer{}
+	}
+	start := time.Now()
+	orders := CandidateOrders(s.Cluster)
+	var best *Plan
+	var bestEv Evaluation
+	explored := 0
+	for _, mbp := range s.prefillCandidates() {
+		t, err := BuildTables(s, timer, mbp)
+		if err != nil {
+			return nil, err
+		}
+		for _, order := range orders {
+			explored++
+			plan, ev, err := solveInner(s, t, order)
+			if err != nil {
+				return nil, err
+			}
+			if plan == nil {
+				continue
+			}
+			if best == nil || ev.Objective < bestEv.Objective {
+				best, bestEv = plan, *ev
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("assigner: no feasible plan for %s on %s (method %s): even the lowest precisions exceed device memory",
+			s.Cfg.Name, s.Cluster.Name, s.Method)
+	}
+	best.Finalize(bestEv)
+	return &Result{Plan: best, Eval: bestEv, Solve: time.Since(start), Explored: explored}, nil
+}
+
+func solveInner(s *Spec, t *Tables, order []int) (*Plan, *Evaluation, error) {
+	switch s.Method {
+	case MethodDP:
+		return solveStructured(t, order)
+	case MethodILP:
+		plan, err := solveILP(t, order, s.TimeLimit)
+		if err != nil || plan == nil {
+			return nil, nil, err
+		}
+		return evaluated(t, plan)
+	case MethodAdabits:
+		plan, err := solveAdabits(t, order)
+		if err != nil || plan == nil {
+			return nil, nil, err
+		}
+		return evaluated(t, plan)
+	case MethodHeuristic:
+		seed, err := solveAdabits(t, order)
+		if err != nil || seed == nil {
+			return nil, nil, err
+		}
+		plan, ev, err := bitwidthTransfer(t, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ev.Feasible {
+			return nil, nil, nil
+		}
+		return plan, ev, nil
+	default:
+		return nil, nil, fmt.Errorf("assigner: unknown method %v", s.Method)
+	}
+}
+
+func evaluated(t *Tables, p *Plan) (*Plan, *Evaluation, error) {
+	ev, err := Evaluate(t, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ev.Feasible {
+		return nil, nil, nil
+	}
+	return p, &ev, nil
+}
+
+// CandidateOrders enumerates device orderings as permutations of same-type
+// blocks (devices of one GPU type are interchangeable, so only the relative
+// order of types matters — the pruning the paper's GetDeviceOrder relies
+// on).
+func CandidateOrders(c hardware.Cluster) [][]int {
+	var typeNames []string
+	blocks := map[string][]int{}
+	for i, d := range c.Devices {
+		name := d.GPU.Name
+		if _, seen := blocks[name]; !seen {
+			typeNames = append(typeNames, name)
+		}
+		blocks[name] = append(blocks[name], i)
+	}
+	perms := permutations(len(typeNames))
+	var out [][]int
+	for _, pm := range perms {
+		var order []int
+		for _, ti := range pm {
+			order = append(order, blocks[typeNames[ti]]...)
+		}
+		out = append(out, order)
+	}
+	return out
+}
+
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			rec(append(cur, i), used)
+			used[i] = false
+		}
+	}
+	rec(nil, make([]bool, n))
+	return out
+}

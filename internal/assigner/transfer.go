@@ -1,0 +1,122 @@
+package assigner
+
+// Algorithm 2: bitwidth transfer. Starting from an adabits solution, the
+// heuristic repeatedly identifies the straggler (slowest) stage and applies
+// the best improving transformation from the rule set C — moving boundary
+// layers between adjacent stages (optionally converting their precision)
+// or re-precision-ing a layer in place — until no single transformation
+// improves the exact objective.
+
+const transferMaxIters = 400
+
+// bitwidthTransfer refines a plan in place-by-copy and returns the best
+// found plan with its evaluation.
+func bitwidthTransfer(t *Tables, start *Plan) (*Plan, *Evaluation, error) {
+	best := clonePlan(start)
+	bestEv, err := Evaluate(t, best)
+	if err != nil {
+		return nil, nil, err
+	}
+	for iter := 0; iter < transferMaxIters; iter++ {
+		improved := false
+		for _, cand := range neighbors(t.Spec, best) {
+			ev, err := Evaluate(t, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ev.Feasible && ev.Objective < bestEv.Objective-1e-12 {
+				best, bestEv = cand, ev
+				improved = true
+				break // greedy first-improvement, then re-derive neighbors
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, &bestEv, nil
+}
+
+func clonePlan(p *Plan) *Plan {
+	q := *p
+	q.Order = append([]int(nil), p.Order...)
+	q.Boundaries = append([]int(nil), p.Boundaries...)
+	q.GroupBits = append([]int(nil), p.GroupBits...)
+	return &q
+}
+
+// neighbors generates the transformation candidates of rule set C:
+//
+//   - boundary shifts: move the edge group of a stage to its neighbor,
+//     keeping or converting its precision (e.g. the paper's (4, 8, 2) rule
+//     — replacing one 8-bit layer with 4-bit layers on another stage — is
+//     a composition of a shift plus precision conversions);
+//   - in-place precision steps: one group one step up or down the
+//     candidate bit ladder.
+func neighbors(s *Spec, p *Plan) []*Plan {
+	var out []*Plan
+	n := p.NumStages()
+	// Boundary shifts with optional precision conversion of the moved
+	// group.
+	for b := 1; b < n; b++ {
+		// Shift boundary left: first group of stage b moves to stage b-1?
+		// Boundaries[b] separates stage b-1 (left) and stage b (right).
+		// Move right: stage b-1 grows by taking group Boundaries[b].
+		if p.Boundaries[b+1]-p.Boundaries[b] > 1 { // right stage keeps ≥1
+			for _, nb := range bitChoices(s, p.GroupBits[p.Boundaries[b]]) {
+				q := clonePlan(p)
+				q.GroupBits[q.Boundaries[b]] = nb
+				q.Boundaries[b]++
+				out = append(out, q)
+			}
+		}
+		// Move left: stage b grows by taking group Boundaries[b]-1.
+		if p.Boundaries[b]-p.Boundaries[b-1] > 1 { // left stage keeps ≥1
+			for _, nb := range bitChoices(s, p.GroupBits[p.Boundaries[b]-1]) {
+				q := clonePlan(p)
+				q.GroupBits[q.Boundaries[b]-1] = nb
+				q.Boundaries[b]--
+				out = append(out, q)
+			}
+		}
+	}
+	// In-place precision steps on every group (the straggler's groups come
+	// first in evaluation order anyway; trying all keeps the rule set
+	// complete and the instance sizes make it cheap).
+	for g := 0; g < len(p.GroupBits); g++ {
+		cur := bitIndexIn(s.Bits, p.GroupBits[g])
+		if cur > 0 {
+			q := clonePlan(p)
+			q.GroupBits[g] = s.Bits[cur-1]
+			out = append(out, q)
+		}
+		if cur >= 0 && cur < len(s.Bits)-1 {
+			q := clonePlan(p)
+			q.GroupBits[g] = s.Bits[cur+1]
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// bitChoices returns the current bit plus its immediate ladder neighbors.
+func bitChoices(s *Spec, cur int) []int {
+	i := bitIndexIn(s.Bits, cur)
+	out := []int{cur}
+	if i > 0 {
+		out = append(out, s.Bits[i-1])
+	}
+	if i >= 0 && i < len(s.Bits)-1 {
+		out = append(out, s.Bits[i+1])
+	}
+	return out
+}
+
+func bitIndexIn(bits []int, b int) int {
+	for i, v := range bits {
+		if v == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,324 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation (§6.1):
+//
+//   - PipeEdge: uniform quantization + heterogeneous partition that
+//     balances a SINGLE phase (prefill) — the phase-unaware planner the
+//     paper extends;
+//   - Uniform: uniform quantization + even layer partition with
+//     latency-minimizing micro-batch sizing (the HF-Transformers /
+//     DeepSpeed policy);
+//   - FlexGen / FlexGen-int8: an offloading throughput model — weights and
+//     KV that exceed device memory live in host RAM and stream over PCIe
+//     on every use (multi-hierarchy offloading).
+//
+// PipeEdge and Uniform emit assigner.Plans executable on the runtime
+// engine; both lower the uniform bitwidth from FP16 until the model fits
+// (or report OOM like the missing entries of Table 4). FlexGen never OOMs
+// — it pays swap time instead.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/assigner"
+)
+
+// ErrOOM is returned when no uniform precision fits the cluster.
+var ErrOOM = fmt.Errorf("baselines: model does not fit at any candidate precision")
+
+// bitsDescending returns candidate bits from highest to lowest ("keep
+// lowering the quantization bitwidth from the maximum until the model can
+// fit", §6.1).
+func bitsDescending(bits []int) []int {
+	out := append([]int(nil), bits...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] > out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func uniformPlan(s *assigner.Spec, t *assigner.Tables, order []int, boundaries []int, bits int) *assigner.Plan {
+	gb := make([]int, s.Omega.Layers())
+	for i := range gb {
+		gb[i] = bits
+	}
+	return &assigner.Plan{
+		Order:      append([]int(nil), order...),
+		Boundaries: boundaries,
+		GroupBits:  gb,
+		Group:      1,
+		PrefillMB:  t.PrefillMB,
+		DecodeMB:   t.DecodeMB,
+	}
+}
+
+// evenBoundaries splits L groups into n near-equal contiguous stages.
+func evenBoundaries(L, n int) []int {
+	b := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		b[j] = j * L / n
+	}
+	// Guarantee non-empty stages when L ≥ n.
+	for j := 1; j <= n; j++ {
+		if b[j] <= b[j-1] {
+			b[j] = b[j-1] + 1
+		}
+	}
+	if b[n] != L {
+		b[n] = L
+	}
+	return b
+}
+
+// Uniform builds the Uniform baseline plan: even partition, uniform
+// precision lowered until feasible, micro-batch chosen to minimize the
+// evaluated latency.
+func Uniform(s *assigner.Spec, timer assigner.LayerTimer) (*assigner.Plan, *assigner.Evaluation, error) {
+	if timer == nil {
+		timer = assigner.ProfilerTimer{}
+	}
+	n := s.Cluster.NumDevices()
+	order := identityOrder(n)
+	var best *assigner.Plan
+	var bestEv assigner.Evaluation
+	for _, mbp := range candidateMBs(s) {
+		t, err := assigner.BuildTables(s, timer, mbp)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, bits := range bitsDescending(s.Bits) {
+			p := uniformPlan(s, t, order, evenBoundaries(s.Omega.Layers(), n), bits)
+			ev, err := assigner.Evaluate(t, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ev.Feasible {
+				continue
+			}
+			if best == nil || ev.LatencySec < bestEv.LatencySec {
+				best, bestEv = p, ev
+			}
+			break // highest feasible precision for this micro-batch
+		}
+	}
+	if best == nil {
+		return nil, nil, ErrOOM
+	}
+	best.Finalize(bestEv)
+	return best, &bestEv, nil
+}
+
+// PipeEdge builds the PipeEdge baseline: uniform precision (highest that
+// fits) with a partition balancing the PREFILL phase only across
+// heterogeneous devices — phase-unaware, per §2.2. Micro-batch is the
+// global batch divided by the number of stages for both phases (§6.1).
+func PipeEdge(s *assigner.Spec, timer assigner.LayerTimer) (*assigner.Plan, *assigner.Evaluation, error) {
+	if timer == nil {
+		timer = assigner.ProfilerTimer{}
+	}
+	n := s.Cluster.NumDevices()
+	mbp := (s.Work.GlobalBatch + n - 1) / n
+	t, err := assigner.BuildTables(s, timer, mbp)
+	if err != nil {
+		return nil, nil, err
+	}
+	var best *assigner.Plan
+	var bestEv assigner.Evaluation
+	for _, order := range assigner.CandidateOrders(s.Cluster) {
+		for _, bits := range bitsDescending(s.Bits) {
+			bounds, ok := pipeEdgePartition(s, t, order, bits)
+			if !ok {
+				continue
+			}
+			p := uniformPlan(s, t, order, bounds, bits)
+			ev, err := assigner.Evaluate(t, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ev.Feasible {
+				continue
+			}
+			if best == nil || ev.LatencySec < bestEv.LatencySec {
+				best, bestEv = p, ev
+			}
+			break
+		}
+	}
+	if best == nil {
+		return nil, nil, ErrOOM
+	}
+	best.Finalize(bestEv)
+	return best, &bestEv, nil
+}
+
+// pipeEdgePartition minimizes the maximum per-stage PREFILL time (the
+// single phase PipeEdge knows about) subject to memory, via binary search
+// on the bottleneck + greedy packing.
+func pipeEdgePartition(s *assigner.Spec, t *assigner.Tables, order []int, bits int) ([]int, bool) {
+	n := len(order)
+	L := s.Omega.Layers()
+	bi := -1
+	for i, b := range s.Bits {
+		if b == bits {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return nil, false
+	}
+	feasible := func(cap float64) ([]int, bool) {
+		bounds := make([]int, n+1)
+		l := 0
+		for j := 0; j < n; j++ {
+			bounds[j] = l
+			cPre, _, cMem := assigner.StageConstants(t, order, j)
+			memCap := t.Capacity[order[j]] - cMem
+			k := 0
+			for l+k < L {
+				nt := float64(k+1)*t.TPre[order[j]][bi] + cPre
+				nm := float64(k+1) * t.GroupMem[bi]
+				if nt > cap || nm > memCap {
+					break
+				}
+				k++
+			}
+			if k == 0 {
+				return nil, false
+			}
+			// Leave enough for remaining stages.
+			if rem := L - (l + k); rem < n-1-j {
+				k -= (n - 1 - j) - rem
+				if k <= 0 {
+					return nil, false
+				}
+			}
+			l += k
+		}
+		bounds[n] = L
+		return bounds, l == L
+	}
+	lo, hi := 0.0, 0.0
+	for j := 0; j < n; j++ {
+		cPre, _, _ := assigner.StageConstants(t, order, j)
+		hi += float64(L)*t.TPre[order[j]][bi] + cPre
+	}
+	bounds, ok := feasible(hi)
+	if !ok {
+		return nil, false
+	}
+	for iter := 0; iter < 48; iter++ {
+		mid := (lo + hi) / 2
+		if b, ok := feasible(mid); ok {
+			bounds = b
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return bounds, true
+}
+
+// FlexGenStats is the analytic result of the offloading baseline.
+type FlexGenStats struct {
+	LatencySec float64
+	Throughput float64
+	Bits       int
+	// OffloadFraction is the share of per-stage state streamed over PCIe
+	// each use.
+	OffloadFraction float64
+}
+
+// PCIeGBs is the host↔device bandwidth the offloading model assumes.
+const PCIeGBs = 16.0
+
+// FlexGen estimates the offloading baseline ("CPU and disk swapping ... to
+// maximize the throughput", §6.1): even partition, uniform precision
+// (FP16, or INT8 for FlexGen-int8), and any state beyond device memory
+// streams over PCIe on every use. FlexGen is specialized for OPT models —
+// callers mirror the paper by not invoking it for BLOOM.
+func FlexGen(s *assigner.Spec, timer assigner.LayerTimer, int8 bool) (*FlexGenStats, error) {
+	if timer == nil {
+		timer = assigner.ProfilerTimer{}
+	}
+	bits := 16
+	if int8 {
+		bits = 8
+	}
+	n := s.Cluster.NumDevices()
+	mbp := (s.Work.GlobalBatch + n - 1) / n
+	t, err := assigner.BuildTables(s, timer, mbp)
+	if err != nil {
+		return nil, err
+	}
+	bi := -1
+	for i, b := range s.Bits {
+		if b == bits {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("baselines: %d-bit not among candidates %v", bits, s.Bits)
+	}
+	bounds := evenBoundaries(s.Omega.Layers(), n)
+	order := identityOrder(n)
+
+	var sumPre, sumDec, maxPre, maxDec, worstOffload float64
+	for j := 0; j < n; j++ {
+		k := float64(bounds[j+1] - bounds[j])
+		cPre, cDec, cMem := assigner.StageConstants(t, order, j)
+		need := k * t.GroupMem[bi]
+		have := t.Capacity[order[j]] - cMem
+		offload := 0.0
+		if need > have {
+			offload = (need - have) / need
+		}
+		if offload > worstOffload {
+			worstOffload = offload
+		}
+		// Streamed bytes per pass: the offloaded share of the stage state.
+		swap := offload * need / (PCIeGBs * 1e9)
+		pre := k*t.TPre[order[j]][bi] + cPre + swap
+		dec := k*t.TDec[order[j]][bi] + cDec + swap
+		sumPre += pre
+		sumDec += dec
+		maxPre = math.Max(maxPre, pre)
+		maxDec = math.Max(maxDec, dec)
+	}
+	kp := (s.Work.GlobalBatch + mbp - 1) / mbp
+	kd := (s.Work.GlobalBatch + t.DecodeMB - 1) / t.DecodeMB
+	latency := sumPre + float64(kp-1)*maxPre
+	rounds := (s.Work.Generate - 1) * kd
+	if rounds > 0 {
+		latency += sumDec + float64(rounds-1)*maxDec
+	}
+	return &FlexGenStats{
+		LatencySec:      latency,
+		Throughput:      float64(s.Work.GlobalBatch*s.Work.Generate) / latency,
+		Bits:            bits,
+		OffloadFraction: worstOffload,
+	}, nil
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func candidateMBs(s *assigner.Spec) []int {
+	var out []int
+	for mb := 1; mb <= s.Work.GlobalBatch; mb *= 2 {
+		out = append(out, mb)
+	}
+	if out[len(out)-1] != s.Work.GlobalBatch {
+		out = append(out, s.Work.GlobalBatch)
+	}
+	return out
+}

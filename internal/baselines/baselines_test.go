@@ -1,0 +1,204 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+)
+
+func testGPU(name string, memGB, tflops, bw float64) hardware.GPU {
+	return hardware.GPU{
+		Name: name, MemoryGB: memGB, FP16TFLOPS: tflops, BandwidthGBs: bw,
+		ComputeEff:       map[int]float64{3: 0.45, 4: 0.5, 8: 0.8, 16: 1.0},
+		MemEff:           map[int]float64{3: 0.7, 4: 0.78, 8: 0.91, 16: 1.0},
+		LaunchOverheadUS: 10,
+	}
+}
+
+var blModel = model.Config{
+	Name: "bl-test", Family: model.OPT, Hidden: 2048, FFN: 8192,
+	Layers: 8, Heads: 16, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true,
+}
+
+func blSpec(memA, memB float64) *assigner.Spec {
+	fast := testGPU("fast", memA, 50, 600)
+	slow := testGPU("slow", memB, 12, 300)
+	full := indicator.Synthetic(blModel, []int{3, 4, 8, 16}, 7)
+	return &assigner.Spec{
+		Cfg: blModel,
+		Cluster: hardware.Cluster{
+			Name: "bl", InterNode: hardware.Eth800Gbps,
+			Devices: []hardware.Device{
+				{ID: 0, GPU: slow, Node: 0},
+				{ID: 1, GPU: fast, Node: 1},
+			},
+		},
+		Work:   assigner.Workload{GlobalBatch: 8, Prompt: 128, Generate: 32},
+		Bits:   []int{3, 4, 8, 16},
+		Omega:  full,
+		Theta:  0.01,
+		Method: assigner.MethodDP,
+	}
+}
+
+func TestUniformPicksHighestFeasibleBits(t *testing.T) {
+	// Plenty of memory → FP16 everywhere.
+	p, ev, err := Uniform(blSpec(24, 24), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.GroupBits {
+		if b != 16 {
+			t.Fatalf("with abundant memory Uniform should stay FP16, got %v", p.GroupBits)
+		}
+	}
+	if !ev.Feasible {
+		t.Fatal("infeasible")
+	}
+	// Tight memory → a lower uniform precision.
+	p2, _, err := Uniform(blSpec(0.68, 0.68), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.GroupBits[0] == 16 {
+		t.Errorf("tight memory should force uniform quantization, got %v", p2.GroupBits)
+	}
+	for i := 1; i < len(p2.GroupBits); i++ {
+		if p2.GroupBits[i] != p2.GroupBits[0] {
+			t.Fatalf("Uniform must be uniform: %v", p2.GroupBits)
+		}
+	}
+}
+
+func TestUniformEvenPartition(t *testing.T) {
+	p, _, err := Uniform(blSpec(24, 24), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Boundaries[1] != 4 {
+		t.Errorf("even split of 8 layers over 2 devices should cut at 4, got %v", p.Boundaries)
+	}
+}
+
+func TestUniformOOM(t *testing.T) {
+	_, _, err := Uniform(blSpec(0.1, 0.1), nil)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected ErrOOM, got %v", err)
+	}
+}
+
+func TestPipeEdgeBalancesPrefill(t *testing.T) {
+	// The faster device must receive more layers than the slow one.
+	p, ev, err := PipeEdge(blSpec(24, 24), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("infeasible")
+	}
+	counts := map[string]int{}
+	for j := 0; j < p.NumStages(); j++ {
+		lo, hi, _ := p.StageRange(j)
+		counts[pName(p, j)] += hi - lo
+	}
+	if counts["fast"] <= counts["slow"] {
+		t.Errorf("PipeEdge gave fast=%d slow=%d layers", counts["fast"], counts["slow"])
+	}
+}
+
+func pName(p *assigner.Plan, j int) string {
+	// Device 0 = slow, 1 = fast in these tests.
+	if p.Order[j] == 1 {
+		return "fast"
+	}
+	return "slow"
+}
+
+func TestPipeEdgeUniformBits(t *testing.T) {
+	p, _, err := PipeEdge(blSpec(0.68, 0.68), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.GroupBits); i++ {
+		if p.GroupBits[i] != p.GroupBits[0] {
+			t.Fatalf("PipeEdge must use uniform precision: %v", p.GroupBits)
+		}
+	}
+}
+
+func TestLLMPQBeatsBaselinesOnHeterogeneousCluster(t *testing.T) {
+	// The core claim (Table 4): phase-aware partition + adaptive
+	// quantization outperforms both baselines on a heterogeneous cluster
+	// with tight memory.
+	s := blSpec(1.6, 1.1)
+	res, err := assigner.Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pe, err := PipeEdge(blSpec(1.6, 1.1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, un, err := Uniform(blSpec(1.6, 1.1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eval.LatencySec > pe.LatencySec*1.001 {
+		t.Errorf("LLM-PQ latency %.3fs should beat PipeEdge %.3fs", res.Eval.LatencySec, pe.LatencySec)
+	}
+	if res.Eval.LatencySec > un.LatencySec*1.001 {
+		t.Errorf("LLM-PQ latency %.3fs should beat Uniform %.3fs", res.Eval.LatencySec, un.LatencySec)
+	}
+}
+
+func TestFlexGenNeverOOMs(t *testing.T) {
+	// Starved memory that OOMs Uniform must still produce a FlexGen number
+	// — just a slow one.
+	s := blSpec(0.35, 0.35)
+	st, err := FlexGen(s, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OffloadFraction <= 0 {
+		t.Errorf("starved devices should offload, fraction=%.3f", st.OffloadFraction)
+	}
+	if st.Throughput <= 0 {
+		t.Errorf("throughput %.3f", st.Throughput)
+	}
+	// And with abundant memory there is no offload penalty.
+	st2, err := FlexGen(blSpec(24, 24), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.OffloadFraction != 0 {
+		t.Errorf("no offload expected, got %.3f", st2.OffloadFraction)
+	}
+	if st2.Throughput <= st.Throughput {
+		t.Error("offloading should cost throughput")
+	}
+}
+
+func TestFlexGenInt8ReducesSwap(t *testing.T) {
+	// INT8 halves the streamed bytes → faster than FP16 when offloading
+	// (the Table 4 pattern: FlexGen-int8 ≥ FlexGen).
+	s := blSpec(0.5, 0.5)
+	fp16, err := FlexGen(s, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8, err := FlexGen(s, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int8.Throughput <= fp16.Throughput {
+		t.Errorf("FlexGen-int8 %.2f tok/s should beat FlexGen %.2f tok/s under heavy offload",
+			int8.Throughput, fp16.Throughput)
+	}
+	if int8.OffloadFraction >= fp16.OffloadFraction {
+		t.Errorf("INT8 should offload less: %.3f vs %.3f", int8.OffloadFraction, fp16.OffloadFraction)
+	}
+}

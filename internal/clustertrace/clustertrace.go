@@ -1,0 +1,93 @@
+// Package clustertrace synthesizes the production-cluster fleet statistics
+// behind Fig 1: the share of each GPU type in the fleet and each type's
+// average utilization over a month. High-calibre training GPUs (A100,
+// A800) are scarce and busy; the numerous inference GPUs (T4, P100) sit
+// largely idle — the capacity LLM-PQ proposes to harvest.
+package clustertrace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FleetShare is the deployed proportion of each GPU type (Fig 1a shape).
+var FleetShare = map[string]float64{
+	"A100-40G": 0.07,
+	"A800-80G": 0.05,
+	"V100":     0.16,
+	"P100":     0.18,
+	"T4":       0.54,
+}
+
+// meanUtil is the monthly average utilization per type (Fig 1b shape).
+var meanUtil = map[string]float64{
+	"A100-40G": 0.86,
+	"A800-80G": 0.81,
+	"V100":     0.48,
+	"P100":     0.27,
+	"T4":       0.33,
+}
+
+// DayUtil is one day's average utilization for one GPU type.
+type DayUtil struct {
+	Day  int
+	Util float64
+}
+
+// MonthlyUtilization generates a 30-day utilization series for a GPU type:
+// the type's mean with weekly seasonality and reproducible noise.
+func MonthlyUtilization(gpuType string, seed int64) ([]DayUtil, error) {
+	mu, ok := meanUtil[gpuType]
+	if !ok {
+		return nil, fmt.Errorf("clustertrace: unknown GPU type %q", gpuType)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]DayUtil, 30)
+	for d := 0; d < 30; d++ {
+		season := 1.0
+		if d%7 >= 5 { // weekends dip
+			season = 0.85
+		}
+		u := mu*season + rng.NormFloat64()*0.04
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		out[d] = DayUtil{Day: d + 1, Util: u}
+	}
+	return out, nil
+}
+
+// TypeSummary is one row of the Fig 1 reproduction.
+type TypeSummary struct {
+	GPUType   string
+	Share     float64
+	MeanUtil  float64
+	IdleShare float64 // share of fleet capacity this type leaves idle
+}
+
+// Summarize produces the per-type fleet summary for a seed.
+func Summarize(seed int64) ([]TypeSummary, error) {
+	order := []string{"A100-40G", "A800-80G", "V100", "P100", "T4"}
+	var out []TypeSummary
+	for i, name := range order {
+		series, err := MonthlyUtilization(name, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, d := range series {
+			sum += d.Util
+		}
+		mu := sum / float64(len(series))
+		out = append(out, TypeSummary{
+			GPUType:   name,
+			Share:     FleetShare[name],
+			MeanUtil:  mu,
+			IdleShare: FleetShare[name] * (1 - mu),
+		})
+	}
+	return out, nil
+}

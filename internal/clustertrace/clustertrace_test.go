@@ -1,0 +1,67 @@
+package clustertrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFleetSharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, s := range FleetShare {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fleet shares sum to %.4f", sum)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := Summarize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TypeSummary{}
+	for _, r := range rows {
+		byName[r.GPUType] = r
+		if r.MeanUtil < 0 || r.MeanUtil > 1 {
+			t.Errorf("%s utilization %.3f", r.GPUType, r.MeanUtil)
+		}
+	}
+	// Fig 1a: low-calibre inference GPUs dominate the fleet.
+	if byName["T4"].Share <= byName["A100-40G"].Share {
+		t.Error("T4 share should dwarf A100 share")
+	}
+	// Fig 1b: A100 runs far hotter than T4/P100.
+	if byName["A100-40G"].MeanUtil <= byName["T4"].MeanUtil {
+		t.Error("A100 should be far busier than T4")
+	}
+	if byName["A100-40G"].MeanUtil <= byName["P100"].MeanUtil {
+		t.Error("A100 should be far busier than P100")
+	}
+	// The harvestable idle capacity is dominated by the low-calibre types.
+	if byName["T4"].IdleShare <= byName["A100-40G"].IdleShare {
+		t.Error("idle capacity should concentrate in T4s")
+	}
+}
+
+func TestMonthlyUtilization(t *testing.T) {
+	series, err := MonthlyUtilization("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 30 {
+		t.Fatalf("%d days", len(series))
+	}
+	again, _ := MonthlyUtilization("V100", 2)
+	for i := range series {
+		if series[i] != again[i] {
+			t.Fatal("not reproducible")
+		}
+		if series[i].Util < 0 || series[i].Util > 1 {
+			t.Fatalf("day %d util %.3f", i, series[i].Util)
+		}
+	}
+	if _, err := MonthlyUtilization("H100", 1); err == nil {
+		t.Error("expected unknown type error")
+	}
+}

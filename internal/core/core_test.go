@@ -1,0 +1,128 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/indicator"
+	"repro/internal/model"
+)
+
+func TestPlanAndServeCluster3(t *testing.T) {
+	spec, res, err := Plan(Request{ClusterID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(spec); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	st, err := Serve(spec, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Throughput <= 0 {
+		t.Errorf("throughput %.3f", st.Throughput)
+	}
+	ppl, err := PredictPPL(spec, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppl < 10.5 || ppl > 12 {
+		t.Errorf("opt-30b PPL %.2f outside plausible band", ppl)
+	}
+}
+
+func TestPlanAdHocCluster(t *testing.T) {
+	spec, res, err := Plan(Request{
+		ModelName:   "opt-13b",
+		DeviceNames: []string{"V100"}, DeviceNumbers: []int{1},
+		GlobalBatch: 16, PromptLen: 256, Generate: 50,
+		Interconnect: "nvlink",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.NumStages() != 1 {
+		t.Errorf("single device plan should have one stage")
+	}
+	if spec.Cfg.Name != "opt-13b" {
+		t.Errorf("model %s", spec.Cfg.Name)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	if _, _, err := Plan(Request{ModelName: "nope", DeviceNames: []string{"V100"}, DeviceNumbers: []int{1}}); err == nil {
+		t.Error("expected unknown-model error")
+	}
+	if _, _, err := Plan(Request{ModelName: "opt-13b", DeviceNames: []string{"V100"}, DeviceNumbers: []int{1}, Interconnect: "carrier-pigeon"}); err == nil {
+		t.Error("expected interconnect error")
+	}
+	if _, _, err := Plan(Request{ClusterID: 99}); err == nil {
+		t.Error("expected cluster error")
+	}
+}
+
+func TestStrategyRoundTrip(t *testing.T) {
+	spec, res, err := Plan(Request{ClusterID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "strategy.json")
+	if err := SaveStrategy(path, Strategy{Request: Request{ClusterID: 1}, Plan: res.Plan}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadStrategy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Plan.Validate(spec); err != nil {
+		t.Fatalf("loaded plan invalid: %v", err)
+	}
+	if s.Plan.PrefillMB != res.Plan.PrefillMB {
+		t.Error("plan fields lost in round trip")
+	}
+	if _, err := LoadStrategy(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected read error")
+	}
+}
+
+func TestOmegaFileRoundTrip(t *testing.T) {
+	o := indicator.Synthetic(model.OPT13B, []int{3, 4, 8, 16}, 1)
+	path := filepath.Join(t.TempDir(), "omega.json")
+	if err := SaveOmega(path, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadOmega(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Layers() != o.Layers() {
+		t.Fatalf("layers %d vs %d", back.Layers(), o.Layers())
+	}
+	a, _ := o.At(3, 4)
+	b, _ := back.At(3, 4)
+	if a != b {
+		t.Error("omega values lost in round trip")
+	}
+	// Planning with a loaded omega file must work end to end.
+	_, res, err := Plan(Request{ClusterID: 1, OmegaFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("no plan")
+	}
+}
+
+func TestMethodsAllWork(t *testing.T) {
+	for _, m := range []assigner.Method{assigner.MethodDP, assigner.MethodHeuristic, assigner.MethodAdabits} {
+		_, res, err := Plan(Request{ClusterID: 1, Method: m})
+		if err != nil {
+			t.Fatalf("method %v: %v", m, err)
+		}
+		if res.Plan == nil {
+			t.Fatalf("method %v: nil plan", m)
+		}
+	}
+}

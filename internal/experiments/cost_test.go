@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func TestClusterCostAccounting(t *testing.T) {
+	c3, _ := hardware.ClusterByID(3)
+	// 3xT4 (0.53) + 1xV100 (2.48) = 4.07 $/h.
+	if got := c3.HourlyUSD(); got < 4.06 || got > 4.08 {
+		t.Errorf("cluster 3 hourly $%.2f, want 4.07", got)
+	}
+	// 100 tok/s → 360k tok/h → $4.07 per 0.36 Mtok → ~$11.3/Mtok.
+	got := c3.CostPerMTok(100)
+	if got < 11 || got > 11.6 {
+		t.Errorf("cost per Mtok %.2f, want ≈11.3", got)
+	}
+	if c3.CostPerMTok(0) != 0 {
+		t.Error("zero throughput should yield zero (undefined) cost")
+	}
+}
+
+func TestExtCostShape(t *testing.T) {
+	_, rows, err := ExtCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	hetero, a100 := rows[0], rows[1]
+	if hetero.HourlyUSD >= a100.HourlyUSD {
+		t.Errorf("idle fleet $%.2f/h should rent below 2xA100 $%.2f/h", hetero.HourlyUSD, a100.HourlyUSD)
+	}
+	if a100.TokS <= hetero.TokS {
+		t.Errorf("A100s %.1f tok/s should outrun the T4 fleet %.1f", a100.TokS, hetero.TokS)
+	}
+	// Both positive and in a plausible $/Mtok band.
+	for _, r := range rows {
+		if r.USDPerMTok <= 0 || r.USDPerMTok > 100 {
+			t.Errorf("%s: $/Mtok %.2f implausible", r.Cluster, r.USDPerMTok)
+		}
+	}
+	// The paper's marginal-cost reading: at ~15% of list price the idle
+	// fleet undercuts the A100s.
+	if hetero.USDPerMTok*0.15 >= a100.USDPerMTok {
+		t.Errorf("idle fleet at marginal cost %.2f should undercut A100s %.2f",
+			hetero.USDPerMTok*0.15, a100.USDPerMTok)
+	}
+}
+
+func TestAllGPUsPriced(t *testing.T) {
+	for _, name := range hardware.GPUNames() {
+		g, err := hardware.GPUByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.HourlyUSD <= 0 {
+			t.Errorf("%s has no price", name)
+		}
+	}
+	// Price ordering tracks capability: T4 < P100 < V100 < A100 ≤ A800.
+	t4, _ := hardware.GPUByName("T4")
+	v100, _ := hardware.GPUByName("V100")
+	a100, _ := hardware.GPUByName("A100-40G")
+	if !(t4.HourlyUSD < v100.HourlyUSD && v100.HourlyUSD < a100.HourlyUSD) {
+		t.Error("price ordering broken")
+	}
+}

@@ -1,0 +1,298 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrate. Each runner returns a Table
+// (renderable as aligned text) plus typed results that tests assert the
+// paper's qualitative shape on: who wins, by roughly what factor, where
+// the crossovers fall (DESIGN.md §6).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/assigner"
+	"repro/internal/baselines"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/quality"
+	"repro/internal/runtime"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "table4", "fig7", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Bits are the candidate precisions used throughout the evaluation.
+var Bits = []int{3, 4, 8, 16}
+
+// OmegaSeed fixes the synthetic sensitivity tables.
+const OmegaSeed = 42
+
+// Setup is one cluster's solver configuration (Table 9).
+type Setup struct {
+	Cluster int
+	Group   int
+	Method  assigner.Method
+	Theta   float64
+}
+
+// SolverSetups reproduces Table 9: θ and solver choice per cluster. The
+// paper runs Gurobi with group=1 where tractable and the Algorithm 2
+// heuristic on clusters 4, 5, 10, 11; our exact structured DP plays the
+// group=1 solver's role (DESIGN.md §3).
+var SolverSetups = map[int]Setup{
+	1:  {Cluster: 1, Group: 1, Method: assigner.MethodDP, Theta: 1},
+	2:  {Cluster: 2, Group: 1, Method: assigner.MethodDP, Theta: 1},
+	3:  {Cluster: 3, Group: 1, Method: assigner.MethodDP, Theta: 1},
+	4:  {Cluster: 4, Group: 1, Method: assigner.MethodHeuristic, Theta: 1000},
+	5:  {Cluster: 5, Group: 1, Method: assigner.MethodHeuristic, Theta: 50},
+	6:  {Cluster: 6, Group: 1, Method: assigner.MethodDP, Theta: 100},
+	7:  {Cluster: 7, Group: 2, Method: assigner.MethodDP, Theta: 10},
+	8:  {Cluster: 8, Group: 2, Method: assigner.MethodDP, Theta: 10},
+	9:  {Cluster: 9, Group: 1, Method: assigner.MethodDP, Theta: 1},
+	10: {Cluster: 10, Group: 1, Method: assigner.MethodHeuristic, Theta: 1},
+	11: {Cluster: 11, Group: 2, Method: assigner.MethodHeuristic, Theta: 10},
+}
+
+// DefaultWork is the paper's default workload: batch 32, prompts padded to
+// 512 tokens, 100 generated tokens per request.
+var DefaultWork = assigner.Workload{GlobalBatch: 32, Prompt: 512, Generate: 100}
+
+// ShortWork is the §6.6 variant: prompt 128, generation 200.
+var ShortWork = assigner.Workload{GlobalBatch: 32, Prompt: 128, Generate: 200}
+
+// SpecFor builds the LLM-PQ spec for a Table 3 cluster.
+func SpecFor(clusterID int, work assigner.Workload) (*assigner.Spec, error) {
+	cl, err := hardware.ClusterByID(clusterID)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := model.ByName(cl.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	setup, ok := SolverSetups[clusterID]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no solver setup for cluster %d", clusterID)
+	}
+	// Normalize ω so a uniform INT4 model totals 1 — this puts the paper's
+	// θ values (Table 9) on the scale they were tuned for.
+	omega, err := normalizeOmega(indicator.Synthetic(cfg, Bits, OmegaSeed))
+	if err != nil {
+		return nil, err
+	}
+	s := &assigner.Spec{
+		Cfg:     cfg,
+		Cluster: cl,
+		Work:    work,
+		Bits:    Bits,
+		Omega:   assigner.GroupOmega(omega, setup.Group),
+		Theta:   setup.Theta,
+		Group:   setup.Group,
+		Method:  setup.Method,
+		// Keep the enumeration light for the bigger clusters.
+		PrefillMicroBatches: []int{1, 2, 4, 8},
+	}
+	return s, nil
+}
+
+// baselineSpec builds the ungrouped spec baselines plan over.
+func baselineSpec(clusterID int, work assigner.Workload) (*assigner.Spec, error) {
+	s, err := SpecFor(clusterID, work)
+	if err != nil {
+		return nil, err
+	}
+	s.Group = 1
+	omega, err := normalizeOmega(indicator.Synthetic(s.Cfg, Bits, OmegaSeed))
+	if err != nil {
+		return nil, err
+	}
+	s.Omega = omega
+	return s, nil
+}
+
+// SchemeResult is one row of a serving comparison.
+type SchemeResult struct {
+	Scheme     string
+	PPL        float64
+	LatencySec float64
+	Throughput float64
+	OOM        bool
+	SolveTime  time.Duration
+	Plan       *assigner.Plan
+}
+
+// scorerFor builds the calibrated PPL scorer over per-layer ω.
+func scorerFor(cfg model.Config) (*quality.Scorer, error) {
+	return quality.NewScorer(cfg.Name, indicator.Synthetic(cfg, Bits, OmegaSeed))
+}
+
+// execute runs a plan on the runtime engine and scores its quality.
+func execute(s *assigner.Spec, plan *assigner.Plan, scheme string) (SchemeResult, error) {
+	eng, err := runtime.NewEngine(s, plan, nil)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	st, err := eng.Run()
+	if err != nil {
+		if _, ok := err.(*runtime.OOMError); ok {
+			return SchemeResult{Scheme: scheme, OOM: true}, nil
+		}
+		return SchemeResult{}, err
+	}
+	scorer, err := scorerFor(s.Cfg)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	ppl, err := scorer.PPL(plan.LayerBits(s.Cfg.Layers))
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return SchemeResult{
+		Scheme:     scheme,
+		PPL:        ppl,
+		LatencySec: st.LatencySec,
+		Throughput: st.Throughput,
+		Plan:       plan,
+	}, nil
+}
+
+// RunLLMPQ plans with the cluster's Table 9 setup and executes.
+func RunLLMPQ(clusterID int, work assigner.Workload) (SchemeResult, error) {
+	s, err := SpecFor(clusterID, work)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	res, err := assigner.Optimize(s, nil)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	out, err := execute(s, res.Plan, "LLM-PQ")
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	out.SolveTime = res.Solve
+	return out, nil
+}
+
+// RunPipeEdge plans and executes the PipeEdge baseline.
+func RunPipeEdge(clusterID int, work assigner.Workload) (SchemeResult, error) {
+	s, err := baselineSpec(clusterID, work)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	plan, _, err := baselines.PipeEdge(s, nil)
+	if err == baselines.ErrOOM {
+		return SchemeResult{Scheme: "PipeEdge", OOM: true}, nil
+	}
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return execute(s, plan, "PipeEdge")
+}
+
+// RunUniform plans and executes the Uniform baseline.
+func RunUniform(clusterID int, work assigner.Workload) (SchemeResult, error) {
+	s, err := baselineSpec(clusterID, work)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	plan, _, err := baselines.Uniform(s, nil)
+	if err == baselines.ErrOOM {
+		return SchemeResult{Scheme: "Uniform", OOM: true}, nil
+	}
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return execute(s, plan, "Uniform")
+}
+
+// RunFlexGen estimates the offloading baseline (OPT models only, like the
+// paper: "FlexGen is specialized for OPT models").
+func RunFlexGen(clusterID int, work assigner.Workload, int8 bool) (SchemeResult, error) {
+	s, err := baselineSpec(clusterID, work)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	name := "FlexGen"
+	if int8 {
+		name = "FlexGen-int8"
+	}
+	if s.Cfg.Family != model.OPT {
+		return SchemeResult{Scheme: name, OOM: true}, nil
+	}
+	st, err := baselines.FlexGen(s, nil, int8)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	scorer, err := scorerFor(s.Cfg)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	ppl, err := scorer.PPL(quality.UniformBits(s.Cfg.Layers, st.Bits))
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	return SchemeResult{
+		Scheme:     name,
+		PPL:        ppl,
+		LatencySec: st.LatencySec,
+		Throughput: st.Throughput,
+	}, nil
+}
+
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func resultRow(clusterID int, modelName string, r SchemeResult, baseTP float64) []string {
+	if r.OOM {
+		return []string{fmt.Sprint(clusterID), modelName, r.Scheme, "-", "-", "OOM", "-"}
+	}
+	speedup := "-"
+	if baseTP > 0 {
+		speedup = f(r.Throughput/baseTP, 2) + "x"
+	}
+	return []string{
+		fmt.Sprint(clusterID), modelName, r.Scheme,
+		f(r.PPL, 2), f(r.LatencySec, 2), f(r.Throughput, 2), speedup,
+	}
+}

@@ -1,0 +1,231 @@
+package indicator
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+var bits = []int{3, 4, 8, 16}
+
+func calibratedModel(t *testing.T, layers int) (*nn.Model, [][]int) {
+	t.Helper()
+	cfg := nn.Config{Vocab: 128, Hidden: 32, FFN: 128, Layers: layers, Heads: 4, MaxSeq: 48, SensitivitySlope: 2.5}
+	m, err := nn.New(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var calib [][]int
+	for i := 0; i < 3; i++ {
+		seq, err := m.Generate([]int{3 + i}, 24, 0.7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calib = append(calib, seq)
+	}
+	if err := m.CalibrateStats(calib[0]); err != nil {
+		t.Fatal(err)
+	}
+	return m, calib
+}
+
+func TestVarianceBasicShapeAndMonotonicity(t *testing.T) {
+	m, _ := calibratedModel(t, 6)
+	o, err := Variance(m, bits, quant.Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Layers() != 6 {
+		t.Fatalf("layers=%d want 6", o.Layers())
+	}
+	for li := 0; li < 6; li++ {
+		w3, _ := o.At(li, 3)
+		w4, _ := o.At(li, 4)
+		w8, _ := o.At(li, 8)
+		w16, _ := o.At(li, 16)
+		if !(w3 > w4 && w4 > w8 && w8 > 0) {
+			t.Errorf("layer %d: ω not decreasing in bits: 3→%.3g 4→%.3g 8→%.3g", li, w3, w4, w8)
+		}
+		if w16 != 0 {
+			t.Errorf("layer %d: FP16 ω should be 0, got %.3g", li, w16)
+		}
+	}
+}
+
+func TestVarianceCapturesDepthSensitivity(t *testing.T) {
+	// The reference model makes later layers more sensitive; the variance
+	// indicator must see that (larger weight ranges → larger scale → ω).
+	m, _ := calibratedModel(t, 8)
+	o, err := Variance(m, bits, quant.Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := o.At(0, 4)
+	last, _ := o.At(7, 4)
+	if last <= first {
+		t.Errorf("deep layer ω %.3g should exceed shallow %.3g", last, first)
+	}
+}
+
+func TestStochasticGreaterOrEqualDeterministic(t *testing.T) {
+	m, _ := calibratedModel(t, 4)
+	det, err := Variance(m, bits, quant.Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sto, err := Variance(m, bits, quant.Stochastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G_sto = (E²+Var)/6 vs G_det = Var/4: with post-layernorm activations
+	// (mean≈0, var≈1) the ordering can go either way but both are positive;
+	// just check both produce strictly positive finite values.
+	for li := 0; li < 4; li++ {
+		d, _ := det.At(li, 4)
+		s, _ := sto.At(li, 4)
+		if d <= 0 || s <= 0 {
+			t.Errorf("layer %d: nonpositive ω det=%.3g sto=%.3g", li, d, s)
+		}
+	}
+}
+
+func TestHessianProbeAgreesWithVarianceOrdering(t *testing.T) {
+	// Table 6: Hessian and variance indicators produce the same PPL — they
+	// must broadly agree on which layers are sensitive.
+	m, calib := calibratedModel(t, 8)
+	v, err := Variance(m, bits, quant.Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hessian(m, bits, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := SpearmanCorrelation(v, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.3 {
+		t.Errorf("variance vs hessian rank correlation %.2f too low", rho)
+	}
+}
+
+func TestHessianMuchSlowerThanVariance(t *testing.T) {
+	// Table 6's overhead column: the Hessian probe costs orders of
+	// magnitude more than the analytic indicator.
+	m, calib := calibratedModel(t, 8)
+	start := time.Now()
+	if _, err := Variance(m, bits, quant.Deterministic); err != nil {
+		t.Fatal(err)
+	}
+	tVar := time.Since(start)
+	start = time.Now()
+	if _, err := Hessian(m, bits, calib); err != nil {
+		t.Fatal(err)
+	}
+	tHess := time.Since(start)
+	if tHess < 10*tVar {
+		t.Errorf("hessian %.3gms should dwarf variance %.3gms", float64(tHess.Microseconds())/1000, float64(tVar.Microseconds())/1000)
+	}
+}
+
+func TestHessianRestoresModel(t *testing.T) {
+	m, calib := calibratedModel(t, 4)
+	before, err := m.CrossEntropy(calib[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Hessian(m, bits, calib); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.CrossEntropy(calib[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("hessian probe must restore weights: CE %.6f → %.6f", before, after)
+	}
+	if _, err := Hessian(m, bits, nil); err == nil {
+		t.Error("expected calibration-needed error")
+	}
+}
+
+func TestRandomReproducibleAndOrdered(t *testing.T) {
+	a := Random(10, bits, 5)
+	b := Random(10, bits, 5)
+	for i := 0; i < 10; i++ {
+		for _, bit := range bits {
+			x, _ := a.At(i, bit)
+			y, _ := b.At(i, bit)
+			if x != y {
+				t.Fatal("same seed must reproduce")
+			}
+		}
+		w3, _ := a.At(i, 3)
+		w8, _ := a.At(i, 8)
+		if w3 <= w8 {
+			t.Errorf("layer %d: random ω should still decrease with bits", i)
+		}
+	}
+	c := Random(10, bits, 6)
+	x, _ := a.At(0, 4)
+	y, _ := c.At(0, 4)
+	if x == y {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticMatchesConfig(t *testing.T) {
+	o := Synthetic(model.OPT30B, bits, 1)
+	if o.Layers() != model.OPT30B.Layers {
+		t.Fatalf("layers=%d want %d", o.Layers(), model.OPT30B.Layers)
+	}
+	// Depth trend holds on average across first/last quarters.
+	var lo, hi float64
+	q := o.Layers() / 4
+	for i := 0; i < q; i++ {
+		v, _ := o.At(i, 4)
+		lo += v
+		v, _ = o.At(o.Layers()-1-i, 4)
+		hi += v
+	}
+	if hi <= lo {
+		t.Errorf("synthetic ω should grow with depth: head %.3g vs tail %.3g", lo, hi)
+	}
+	total, err := o.Total(uniformAssignment(o.Layers(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Error("total ω should be positive")
+	}
+}
+
+func uniformAssignment(n, b int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = b
+	}
+	return a
+}
+
+func TestOmegaErrors(t *testing.T) {
+	o := Random(4, bits, 1)
+	if _, err := o.At(9, 4); err == nil {
+		t.Error("expected layer range error")
+	}
+	if _, err := o.At(0, 5); err == nil {
+		t.Error("expected unknown bits error")
+	}
+	if _, err := o.Total([]int{4}); err == nil {
+		t.Error("expected assignment length error")
+	}
+	if _, err := SpearmanCorrelation(o, Random(5, bits, 2), 4); err == nil {
+		t.Error("expected layer mismatch error")
+	}
+}

@@ -1,0 +1,316 @@
+// Package lp is a dense two-phase tableau simplex solver for linear
+// programs in the form
+//
+//	min  cᵀx
+//	s.t. A_ub·x ≤ b_ub
+//	     A_eq·x = b_eq
+//	     x ≥ 0
+//
+// It is the substitute for the LP engine inside Gurobi that the paper's
+// assigner calls (DESIGN.md §3): problem sizes here are small (thousands of
+// variables at most), so a dense tableau with Bland's anti-cycling rule is
+// both simple and fast enough. internal/ilp builds branch-and-bound on top.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is an LP in inequality/equality form. All x are implicitly ≥ 0.
+type Problem struct {
+	C   []float64   // objective coefficients, len n
+	Aub [][]float64 // each row len n
+	Bub []float64
+	Aeq [][]float64
+	Beq []float64
+}
+
+// Result is the solution.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+// ErrMaxIter is returned when simplex exceeds its pivot budget.
+var ErrMaxIter = errors.New("lp: iteration limit exceeded")
+
+const eps = 1e-9
+
+// Validate checks dimension consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	if len(p.Aub) != len(p.Bub) {
+		return fmt.Errorf("lp: %d ub rows but %d rhs", len(p.Aub), len(p.Bub))
+	}
+	if len(p.Aeq) != len(p.Beq) {
+		return fmt.Errorf("lp: %d eq rows but %d rhs", len(p.Aeq), len(p.Beq))
+	}
+	for i, r := range p.Aub {
+		if len(r) != n {
+			return fmt.Errorf("lp: ub row %d has %d cols, want %d", i, len(r), n)
+		}
+	}
+	for i, r := range p.Aeq {
+		if len(r) != n {
+			return fmt.Errorf("lp: eq row %d has %d cols, want %d", i, len(r), n)
+		}
+	}
+	return nil
+}
+
+// Solve runs two-phase simplex.
+func Solve(p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	mUB := len(p.Aub)
+	mEQ := len(p.Aeq)
+	m := mUB + mEQ
+
+	// Columns: n structural + mUB slacks + m artificials.
+	// Every row gets an artificial so that phase 1 always starts with an
+	// identity basis; slack columns with +1 coefficient could serve as
+	// basis for ≤ rows with b ≥ 0, but uniform artificials keep the code
+	// simple and the sizes are small.
+	total := n + mUB + m
+	t := newTableau(m, total)
+
+	for i := 0; i < mUB; i++ {
+		copy(t.a[i], p.Aub[i])
+		t.a[i][n+i] = 1 // slack
+		t.b[i] = p.Bub[i]
+	}
+	for i := 0; i < mEQ; i++ {
+		copy(t.a[mUB+i], p.Aeq[i])
+		t.b[mUB+i] = p.Beq[i]
+	}
+	// Normalize to b ≥ 0.
+	for i := 0; i < m; i++ {
+		if t.b[i] < 0 {
+			for j := 0; j < total; j++ {
+				t.a[i][j] = -t.a[i][j]
+			}
+			t.b[i] = -t.b[i]
+		}
+	}
+	// Artificial columns and initial basis.
+	for i := 0; i < m; i++ {
+		t.a[i][n+mUB+i] = 1
+		t.basis[i] = n + mUB + i
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1 := make([]float64, total)
+	for j := n + mUB; j < total; j++ {
+		phase1[j] = 1
+	}
+	t.setObjective(phase1)
+	st, err := t.iterate()
+	if err != nil {
+		return Result{}, err
+	}
+	if st == Unbounded {
+		return Result{}, errors.New("lp: phase 1 unbounded (internal error)")
+	}
+	if t.objValue() > eps*math.Max(1, maxAbs(p.Bub, p.Beq)) {
+		return Result{Status: Infeasible}, nil
+	}
+	// Drive remaining artificials out of the basis where possible.
+	t.purgeArtificials(n + mUB)
+
+	// Phase 2: original objective, artificial columns frozen.
+	phase2 := make([]float64, total)
+	copy(phase2, p.C)
+	t.forbidden = n + mUB
+	t.setObjective(phase2)
+	st, err = t.iterate()
+	if err != nil {
+		return Result{}, err
+	}
+	if st == Unbounded {
+		return Result{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	var obj float64
+	for j := range p.C {
+		obj += p.C[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+func maxAbs(xs ...[]float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		for _, x := range v {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// tableau is a dense simplex tableau with reduced costs maintained by
+// explicit pricing against the basis.
+type tableau struct {
+	m, n      int // rows, total columns
+	a         [][]float64
+	b         []float64
+	c         []float64 // current objective (reduced costs)
+	cObj      float64   // running -(objective value) of the basis
+	basis     []int
+	forbidden int // columns ≥ forbidden may not enter the basis (0 = none)
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, b: make([]float64, m), basis: make([]int, m)}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	return t
+}
+
+func (t *tableau) setObjective(c []float64) {
+	t.c = append([]float64(nil), c...)
+	t.cObj = 0
+	// Price out the basic columns so reduced costs are correct.
+	for i, bi := range t.basis {
+		if t.c[bi] != 0 {
+			coef := t.c[bi]
+			for j := 0; j < t.n; j++ {
+				t.c[j] -= coef * t.a[i][j]
+			}
+			// Track objective constant via bObj.
+			t.cObj -= coef * t.b[i]
+		}
+	}
+}
+
+// cObj accumulates -(objective value) of the current basis.
+func (t *tableau) objValue() float64 { return -t.cObj }
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+	}
+	f := t.c[col]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.c[j] -= f * t.a[row][j]
+		}
+		t.cObj -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex pivots until optimal or unbounded, using Bland's
+// rule (smallest eligible index) which guarantees termination.
+func (t *tableau) iterate() (Status, error) {
+	limit := t.n
+	if limit < t.m {
+		limit = t.m
+	}
+	maxIter := 200 * (limit + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if t.forbidden > 0 && j >= t.forbidden {
+				break
+			}
+			if t.c[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal, nil
+		}
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				r := t.b[i] / t.a[i][col]
+				if r < best-eps || (r < best+eps && (row < 0 || t.basis[i] < t.basis[row])) {
+					best = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(row, col)
+	}
+	return Optimal, ErrMaxIter
+}
+
+// purgeArtificials pivots artificial variables out of the basis when a
+// substitute column exists; rows where none exists are redundant and left
+// with a zero-valued artificial.
+func (t *tableau) purgeArtificials(artStart int) {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artStart {
+			continue
+		}
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x+2y s.t. x+y≤4, x+3y≤6 → min -3x-2y; optimum x=4,y=0, obj=-12.
+	p := &Problem{
+		C:   []float64{-3, -2},
+		Aub: [][]float64{{1, 1}, {1, 3}},
+		Bub: []float64{4, 6},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !approx(r.Obj, -12, 1e-6) {
+		t.Fatalf("got %v obj=%.6f, want optimal -12 (x=%v)", r.Status, r.Obj, r.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x+y s.t. x+2y=4, x,y≥0 → y=2, x=0, obj=2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		Aeq: [][]float64{{1, 2}},
+		Beq: []float64{4},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !approx(r.Obj, 2, 1e-6) {
+		t.Fatalf("got %v obj=%.6f x=%v, want 2", r.Status, r.Obj, r.X)
+	}
+	if !approx(r.X[0]+2*r.X[1], 4, 1e-6) {
+		t.Errorf("equality violated: x=%v", r.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 3 (as -x ≤ -3).
+	p := &Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{1}, {-1}},
+		Bub: []float64{1, -3},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x ≥ 0.
+	p := &Problem{
+		C:   []float64{-1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{0},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", r.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -2  (x ≥ 2) → obj 2.
+	p := &Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{-2},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !approx(r.Obj, 2, 1e-6) {
+		t.Fatalf("got %v obj=%.6f, want 2", r.Status, r.Obj)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classically degenerate LP (Beale's example) must terminate under
+	// Bland's rule.
+	p := &Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		Aub: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		Bub: []float64{0, 0, 1},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !approx(r.Obj, -0.05, 1e-6) {
+		t.Fatalf("Beale: got %v obj=%.6f, want -0.05", r.Status, r.Obj)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("expected empty-objective error")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, Aub: [][]float64{{1, 2}}, Bub: []float64{1}}); err == nil {
+		t.Error("expected row-width error")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, Aeq: [][]float64{{1}}, Beq: []float64{}}); err == nil {
+		t.Error("expected rhs-count error")
+	}
+}
+
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	// Random small LPs with box constraints: compare simplex against a
+	// dense grid search over the vertices of the box (the LP optimum of a
+	// linear objective over box ∩ halfspaces is checked by feasibility
+	// filtering of a fine grid; with a modest tolerance this catches gross
+	// solver errors).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		c := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		// Box 0 ≤ x ≤ 3 plus one random cut.
+		a := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		b := rng.Float64()*4 + 0.5
+		p := &Problem{
+			C:   c,
+			Aub: [][]float64{{1, 0}, {0, 1}, a},
+			Bub: []float64{3, 3, b},
+		}
+		r, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal {
+			continue // cut may make it infeasible only if b<0; skip others
+		}
+		// Grid check.
+		best := math.Inf(1)
+		const steps = 60
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := 3 * float64(i) / steps
+				y := 3 * float64(j) / steps
+				if a[0]*x+a[1]*y > b+1e-9 {
+					continue
+				}
+				v := c[0]*x + c[1]*y
+				if v < best {
+					best = v
+				}
+			}
+		}
+		if r.Obj > best+1e-6 {
+			t.Errorf("trial %d: simplex obj %.6f worse than grid %.6f (c=%v a=%v b=%.3f)", trial, r.Obj, best, c, a, b)
+		}
+		if r.Obj < best-0.2 { // grid resolution slack
+			t.Errorf("trial %d: simplex obj %.6f implausibly better than grid %.6f", trial, r.Obj, best)
+		}
+	}
+}
+
+func TestSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		m := 3
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Abs(rng.NormFloat64()) // nonneg rows + positive rhs → bounded, feasible
+			}
+			p.Aub = append(p.Aub, row)
+			p.Bub = append(p.Bub, rng.Float64()*5+1)
+		}
+		// Make objective nonnegative so min is bounded (x=0 feasible).
+		for j := range p.C {
+			p.C[j] = math.Abs(p.C[j])
+		}
+		r, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		for i, row := range p.Aub {
+			var s float64
+			for j := range row {
+				s += row[j] * r.X[j]
+			}
+			if s > p.Bub[i]+1e-6 {
+				t.Errorf("trial %d: constraint %d violated: %.6f > %.6f", trial, i, s, p.Bub[i])
+			}
+		}
+		for j, x := range r.X {
+			if x < -1e-9 {
+				t.Errorf("trial %d: x[%d]=%.6g negative", trial, j, x)
+			}
+		}
+		// With nonnegative objective, optimum is 0 at x=0.
+		if !approx(r.Obj, 0, 1e-6) {
+			t.Errorf("trial %d: obj %.6f, want 0", trial, r.Obj)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalParamsOrderOfMagnitude(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64 // published parameter count
+		tol  float64 // relative tolerance
+	}{
+		{OPT125M, 125e6, 0.15},
+		{OPT1B3, 1.3e9, 0.10},
+		{OPT13B, 13e9, 0.05},
+		{OPT30B, 30e9, 0.05},
+		{OPT66B, 66e9, 0.05},
+		{OPT175B, 175e9, 0.05},
+		{BLOOM560M, 560e6, 0.15},
+		{BLOOM1B7, 1.7e9, 0.10},
+		{BLOOM3B, 3e9, 0.10},
+		{BLOOM176B, 176e9, 0.05},
+	}
+	for _, c := range cases {
+		got := float64(c.cfg.TotalParams())
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s: TotalParams=%.3g, published %.3g (tol %.0f%%)", c.cfg.Name, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("opt-30b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hidden != 7168 || c.Layers != 48 {
+		t.Errorf("opt-30b shape wrong: %+v", c)
+	}
+	if _, err := ByName("gpt-5"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 registered models, got %d: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestPrefillMoreComputeIntensiveThanDecode(t *testing.T) {
+	// Paper §4.1: prefill arithmetic intensity is ~100x decode's.
+	sh := PhaseShape{Batch: 32, Prompt: 512, Context: 512}
+	for _, cfg := range []Config{OPT30B, OPT175B} {
+		pf := cfg.LayerFLOPs(sh, true) / cfg.LayerMOPs(sh, true, 16, 16)
+		df := cfg.LayerFLOPs(sh, false) / cfg.LayerMOPs(sh, false, 16, 16)
+		if pf < 50*df {
+			t.Errorf("%s: prefill AI %.1f not ≫ decode AI %.1f", cfg.Name, pf, df)
+		}
+	}
+}
+
+func TestDecodeArithmeticIntensityMatchesPaper(t *testing.T) {
+	// Paper: decode AI for OPT-175b and OPT-30b at batch 32, prompt 512 is
+	// 48 and 43. Our accounting should land in the same ballpark (20–80).
+	sh := PhaseShape{Batch: 32, Prompt: 512, Context: 512}
+	for _, c := range []struct {
+		cfg  Config
+		want float64
+	}{{OPT175B, 48}, {OPT30B, 43}} {
+		ai := c.cfg.LayerFLOPs(sh, false) / c.cfg.LayerMOPs(sh, false, 16, 16)
+		if ai < c.want/2.5 || ai > c.want*2.5 {
+			t.Errorf("%s decode AI=%.1f, paper reports ≈%.0f", c.cfg.Name, ai, c.want)
+		}
+	}
+}
+
+func TestLayerWeightBytesMonotoneInBits(t *testing.T) {
+	cfg := OPT30B
+	prev := 0.0
+	for _, b := range []int{3, 4, 8, 16} {
+		w := cfg.LayerWeightBytes(b)
+		if w <= prev {
+			t.Errorf("weight bytes not increasing: bits=%d w=%.0f prev=%.0f", b, w, prev)
+		}
+		prev = w
+	}
+	// 16-bit weights should be ~2 bytes/param over linear weights.
+	lin := 4*float64(cfg.Hidden)*float64(cfg.Hidden) + 2*float64(cfg.Hidden)*float64(cfg.FFN)
+	if got := cfg.LayerWeightBytes(16); math.Abs(got-lin*2) > lin*0.01 {
+		t.Errorf("FP16 layer weight bytes %.3g, expected ≈%.3g", got, lin*2)
+	}
+}
+
+func TestKVBytesScalesLinearly(t *testing.T) {
+	err := quick.Check(func(b8, s8, kv8 uint8) bool {
+		b := int(b8%16) + 1
+		s := int(s8)%1024 + 1
+		kvBits := []int{8, 16}[kv8%2]
+		one := OPT13B.KVBytesPerLayer(b, s, kvBits)
+		two := OPT13B.KVBytesPerLayer(2*b, s, kvBits)
+		return math.Abs(two-2*one) < 1e-6*one+1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFLOPsPositiveAndMonotone(t *testing.T) {
+	err := quick.Check(func(b8, s8 uint8) bool {
+		b := int(b8%32) + 1
+		s := int(s8)%1024 + 2
+		sh1 := PhaseShape{Batch: b, Prompt: s}
+		sh2 := PhaseShape{Batch: b, Prompt: s + 1}
+		f1 := OPT13B.LayerFLOPs(sh1, true)
+		f2 := OPT13B.LayerFLOPs(sh2, true)
+		return f1 > 0 && f2 > f1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMOPsGrowWithContext(t *testing.T) {
+	short := OPT30B.LayerMOPs(PhaseShape{Batch: 8, Context: 128}, false, 16, 16)
+	long := OPT30B.LayerMOPs(PhaseShape{Batch: 8, Context: 1024}, false, 16, 16)
+	if long <= short {
+		t.Errorf("decode MOPs should grow with context: %.0f vs %.0f", short, long)
+	}
+}
+
+func TestQuantizationReducesMOPs(t *testing.T) {
+	sh := PhaseShape{Batch: 8, Context: 512}
+	fp16 := OPT30B.LayerMOPs(sh, false, 16, 16)
+	int4 := OPT30B.LayerMOPs(sh, false, 4, 16)
+	if int4 >= fp16 {
+		t.Errorf("4-bit weights should reduce memory traffic: %.0f vs %.0f", int4, fp16)
+	}
+	// Weight traffic dominates decode at small batch; expect >2x reduction.
+	shSmall := PhaseShape{Batch: 1, Context: 128}
+	r := OPT30B.LayerMOPs(shSmall, false, 16, 16) / OPT30B.LayerMOPs(shSmall, false, 4, 16)
+	if r < 2 {
+		t.Errorf("small-batch decode should be ≥2x lighter at 4-bit, got %.2fx", r)
+	}
+}
+
+func TestEmbedBytesBLOOMHasNoPositionTable(t *testing.T) {
+	// Same hidden size: OPT-1.3b vs BLOOM-1b7. BLOOM has bigger vocab but no
+	// learned positions; check the position-table term is absent.
+	opt := OPT1B3.EmbedParams()
+	wantOPT := int64(OPT1B3.VocabSize+OPT1B3.MaxPosEmb)*int64(OPT1B3.Hidden) + 2*int64(OPT1B3.Hidden)
+	if opt != wantOPT {
+		t.Errorf("OPT embed params = %d, want %d", opt, wantOPT)
+	}
+	bl := BLOOM1B7.EmbedParams()
+	wantBL := int64(BLOOM1B7.VocabSize)*int64(BLOOM1B7.Hidden) + 2*int64(BLOOM1B7.Hidden)
+	if bl != wantBL {
+		t.Errorf("BLOOM embed params = %d, want %d", bl, wantBL)
+	}
+}

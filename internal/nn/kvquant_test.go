@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kvGreedy generates greedily through the KV cache at the model's current
+// KV precision.
+func kvGreedy(t *testing.T, m *Model, prompt []int, n int) []int {
+	t.Helper()
+	seq := append([]int(nil), prompt...)
+	cache := m.NewCache()
+	logits, err := m.Forward(prompt, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := logits.Row(logits.Rows - 1)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		seq = append(seq, best)
+		if len(seq) >= m.Cfg.MaxSeq {
+			break
+		}
+		logits, err = m.Forward([]int{best}, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seq
+}
+
+func TestSetKVBitsValidation(t *testing.T) {
+	m := newTestModel(t)
+	if err := m.SetKVBits(4); err == nil {
+		t.Error("expected error for 4-bit KV")
+	}
+	if err := m.SetKVBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetKVBits(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestINT8KVNearLossless(t *testing.T) {
+	// The ext-kv experiment assumes INT8 KV is near-lossless; verify with
+	// real arithmetic: CE degradation from INT8 KV must be far smaller
+	// than from INT8 *weights*.
+	m := newTestModel(t)
+	rng := rand.New(rand.NewSource(13))
+	var corpus [][]int
+	for i := 0; i < 4; i++ {
+		seq, err := m.Generate([]int{3 + i, 7}, 30, 0.7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, seq)
+	}
+	// CrossEntropy uses no cache, so measure via cached decoding: compare
+	// next-token logits along a sequence under each KV precision.
+	meanDiv := func(kvBits int) float64 {
+		if err := m.SetKVBits(16); err != nil {
+			t.Fatal(err)
+		}
+		var ref [][]int
+		for _, seq := range corpus {
+			ref = append(ref, kvGreedy(t, m, seq[:4], 20))
+		}
+		if err := m.SetKVBits(kvBits); err != nil {
+			t.Fatal(err)
+		}
+		var mismatch, total float64
+		for si, seq := range corpus {
+			got := kvGreedy(t, m, seq[:4], 20)
+			for i := range ref[si] {
+				if got[i] != ref[si][i] {
+					mismatch++
+				}
+				total++
+			}
+		}
+		if err := m.SetKVBits(16); err != nil {
+			t.Fatal(err)
+		}
+		return mismatch / total
+	}
+	div8 := meanDiv(8)
+	if div8 > 0.25 {
+		t.Errorf("INT8 KV diverges from FP16 on %.0f%% of tokens — not near-lossless", div8*100)
+	}
+}
+
+func TestKVQuantDeterministic(t *testing.T) {
+	m := newTestModel(t)
+	if err := m.SetKVBits(8); err != nil {
+		t.Fatal(err)
+	}
+	a := kvGreedy(t, m, []int{5, 9, 2}, 12)
+	b := kvGreedy(t, m, []int{5, 9, 2}, 12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("INT8 KV decoding not deterministic")
+		}
+	}
+}
+
+func TestKVQuantCachedStillMatchesScale(t *testing.T) {
+	// With INT8 KV, cached incremental decoding no longer matches the
+	// uncached full forward bit-for-bit (the cache stores rounded values),
+	// but logits must stay close.
+	m := newTestModel(t)
+	if err := m.SetKVBits(8); err != nil {
+		t.Fatal(err)
+	}
+	seq := []int{3, 17, 54, 9, 21}
+	full, err := m.Forward(seq, nil) // uncached: no quantization applied
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := m.NewCache()
+	got, err := m.Forward(seq, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff, scale float64
+	for i := range full.Data {
+		d := math.Abs(full.Data[i] - got.Data[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+		if a := math.Abs(full.Data[i]); a > scale {
+			scale = a
+		}
+	}
+	if maxDiff > 0.1*scale {
+		t.Errorf("INT8 KV logit drift %.4g too large vs logit scale %.4g", maxDiff, scale)
+	}
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// checkpoint is the on-disk format of a reference model (gob-encoded).
+type checkpoint struct {
+	Cfg    Config
+	Embed  []float64
+	Pos    []float64
+	LNFg   []float64
+	LNFb   []float64
+	Layers []layerCheckpoint
+}
+
+type layerCheckpoint struct {
+	W    [6][]float64 // wq wk wv wo fc1 fc2 master weights
+	B    [6][]float64
+	LN1g []float64
+	LN1b []float64
+	LN2g []float64
+	LN2b []float64
+}
+
+// Save writes the model's full-precision parameters to path. The current
+// quantization state is NOT saved — checkpoints always hold master
+// weights, mirroring how real serving systems store FP16 checkpoints and
+// quantize at load time (§5).
+func (m *Model) Save(path string) error {
+	ck := checkpoint{
+		Cfg:   m.Cfg,
+		Embed: m.Embed.Data,
+		Pos:   m.Pos.Data,
+		LNFg:  m.LNFg,
+		LNFb:  m.LNFb,
+	}
+	for _, l := range m.Layers {
+		var lc layerCheckpoint
+		for i, lin := range l.linears() {
+			lc.W[i] = lin.master.Data
+			lc.B[i] = lin.bias
+		}
+		lc.LN1g, lc.LN1b = l.ln1g, l.ln1b
+		lc.LN2g, lc.LN2b = l.ln2g, l.ln2b
+		ck.Layers = append(ck.Layers, lc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&ck); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return w.Flush()
+}
+
+// Load reads a checkpoint written by Save and reconstructs the model at
+// full precision.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck checkpoint
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("nn: decode checkpoint %s: %w", path, err)
+	}
+	// Build a skeleton with the right shapes, then overwrite parameters.
+	m, err := New(ck.Cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(ck.Layers) != len(m.Layers) {
+		return nil, fmt.Errorf("nn: checkpoint has %d layers, config says %d", len(ck.Layers), len(m.Layers))
+	}
+	if err := fill(m.Embed, ck.Embed, "embed"); err != nil {
+		return nil, err
+	}
+	if err := fill(m.Pos, ck.Pos, "pos"); err != nil {
+		return nil, err
+	}
+	if err := fillVec(m.LNFg, ck.LNFg, "lnf gain"); err != nil {
+		return nil, err
+	}
+	if err := fillVec(m.LNFb, ck.LNFb, "lnf bias"); err != nil {
+		return nil, err
+	}
+	for li, lc := range ck.Layers {
+		l := m.Layers[li]
+		for i, lin := range l.linears() {
+			if err := fill(lin.master, lc.W[i], fmt.Sprintf("layer %d op %d", li, i)); err != nil {
+				return nil, err
+			}
+			if err := fillVec(lin.bias, lc.B[i], fmt.Sprintf("layer %d bias %d", li, i)); err != nil {
+				return nil, err
+			}
+			lin.work = lin.master.Clone()
+		}
+		if err := fillVec(l.ln1g, lc.LN1g, "ln1g"); err != nil {
+			return nil, err
+		}
+		if err := fillVec(l.ln1b, lc.LN1b, "ln1b"); err != nil {
+			return nil, err
+		}
+		if err := fillVec(l.ln2g, lc.LN2g, "ln2g"); err != nil {
+			return nil, err
+		}
+		if err := fillVec(l.ln2b, lc.LN2b, "ln2b"); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func fill(dst *tensor.Matrix, src []float64, what string) error {
+	if len(src) != len(dst.Data) {
+		return fmt.Errorf("nn: checkpoint %s has %d values, want %d", what, len(src), len(dst.Data))
+	}
+	copy(dst.Data, src)
+	return nil
+}
+
+func fillVec(dst, src []float64, what string) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("nn: checkpoint %s has %d values, want %d", what, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := newTestModel(t)
+	seq := []int{1, 5, 9, 2, 7, 3}
+	before, err := m.CrossEntropy(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := back.CrossEntropy(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("round trip changed CE: %.10f vs %.10f", before, after)
+	}
+}
+
+func TestSaveStoresMasterWeightsNotQuantized(t *testing.T) {
+	m := newTestModel(t)
+	seq := []int{1, 5, 9, 2, 7, 3}
+	fp16, _ := m.CrossEntropy(seq)
+	// Quantize, save, load: the checkpoint must hold FP16 masters.
+	for i := range m.Layers {
+		if err := m.SetLayerBits(i, 3, quant.Deterministic, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := back.CrossEntropy(seq)
+	if loaded != fp16 {
+		t.Errorf("checkpoint should hold master weights: CE %.8f vs FP16 %.8f", loaded, fp16)
+	}
+}
+
+func TestTrainedModelSurvivesCheckpoint(t *testing.T) {
+	m, err := New(trainCfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(m, 3e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := MarkovCorpus(trainCfg.Vocab, 40, 12, 7)
+	for step := 0; step < 30; step++ {
+		if _, err := tr.Step(corpus[(step%4)*8 : (step%4)*8+8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := corpus[32]
+	before, _ := m.CrossEntropy(eval)
+	path := filepath.Join(t.TempDir(), "trained.ckpt")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := back.CrossEntropy(eval)
+	if before != after {
+		t.Errorf("trained checkpoint round trip: CE %.8f vs %.8f", before, after)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("expected missing-file error")
+	}
+}

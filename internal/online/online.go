@@ -1,0 +1,246 @@
+// Package online explores the paper's §7 "Apply to ORCA or vLLM"
+// discussion: under ONLINE serving (unpredictable arrivals, paged KV
+// memory, continuous batching) the choice of quantization level trades
+// kernel speed against the KV memory left for concurrent requests —
+// "there is always a trade-off between the speed of quantized operators
+// and the amount of available memory."
+//
+// The simulator is a deliberately small vLLM-alike: requests arrive by a
+// seeded Poisson process with ShareGPT-style prompt lengths, are admitted
+// when paged-KV memory is available, decode in a continuously-batched
+// step loop, and release their pages on completion. It runs on a single
+// (possibly fused) device; the experiment sweeps weight precision and
+// arrival rate to expose the crossover.
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Config describes one online-serving simulation.
+type Config struct {
+	GPU      hardware.GPU
+	Model    model.Config
+	Bits     int     // uniform weight precision
+	Arrival  float64 // mean requests per second (Poisson)
+	Duration float64 // simulated seconds of arrivals
+	MaxNew   int     // tokens generated per request
+	MaxBatch int     // admission cap on concurrent requests
+	Seed     int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Bits {
+	case 3, 4, 8, 16:
+	default:
+		return fmt.Errorf("online: unsupported bitwidth %d", c.Bits)
+	}
+	if c.Arrival <= 0 || c.Duration <= 0 || c.MaxNew <= 0 {
+		return fmt.Errorf("online: arrival/duration/maxnew must be positive")
+	}
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("online: max batch must be positive")
+	}
+	return nil
+}
+
+// Stats summarizes a simulation.
+type Stats struct {
+	Completed     int
+	GeneratedTok  int
+	Throughput    float64 // generated tokens per second of simulated time
+	MeanLatency   float64 // request completion latency (admission wait + run)
+	P95Latency    float64
+	MeanBatch     float64 // average concurrent batch while serving
+	KVCapacityTok int     // paged-KV capacity in tokens
+	Rejected      int     // arrivals the queue never admitted before sim end
+}
+
+type request struct {
+	arrive float64
+	prompt int
+	done   int // tokens generated so far
+	start  float64
+	finish float64
+}
+
+// Run simulates the configured workload.
+func Run(c Config) (Stats, error) {
+	if err := c.Validate(); err != nil {
+		return Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Memory budget: weights at Bits + working set; the remainder is the
+	// paged KV pool (vLLM's core resource).
+	var weights float64
+	for i := 0; i < c.Model.Layers; i++ {
+		weights += c.Model.LayerWeightBytes(c.Bits)
+	}
+	weights += c.Model.EmbedBytes() + c.Model.LMHeadBytes()
+	work := 0.08 * c.GPU.MemoryBytes() // activations + allocator slack
+	kvPool := c.GPU.MemoryBytes() - weights - work
+	if kvPool <= 0 {
+		return Stats{}, fmt.Errorf("online: %s at %d-bit leaves no KV memory on %s", c.Model.Name, c.Bits, c.GPU.Name)
+	}
+	perTok := c.Model.KVBytesPerLayer(1, 1, profiler.KVBits) * float64(c.Model.Layers)
+	kvTokens := int(kvPool / perTok)
+
+	// Arrivals.
+	var queue []*request
+	t := 0.0
+	for t < c.Duration {
+		t += rng.ExpFloat64() / c.Arrival
+		p := workload.ShareGPTLengths(1, c.Model.MaxPosEmb-c.MaxNew-1, rng.Int63())[0]
+		queue = append(queue, &request{arrive: t, prompt: p})
+	}
+
+	var running []*request
+	usedTok := 0
+	now := 0.0
+	var finished []*request
+	var batchSamples []float64
+	qi := 0
+
+	kvNeed := func(r *request) int { return r.prompt + c.MaxNew }
+	admit := func() {
+		for qi < len(queue) && len(running) < c.MaxBatch {
+			r := queue[qi]
+			if r.arrive > now {
+				break
+			}
+			if usedTok+kvNeed(r) > kvTokens {
+				break // head-of-line blocking on KV pages
+			}
+			usedTok += kvNeed(r)
+			r.start = now
+			// Prefill cost charged on admission.
+			pre, _ := profiler.LayerTime(c.GPU, c.Model, profiler.Workload{
+				Batch: 1, Prompt: r.prompt, Prefill: true, Bits: c.Bits,
+			})
+			now += pre * float64(c.Model.Layers)
+			running = append(running, r)
+			qi++
+		}
+	}
+
+	const maxSteps = 5_000_000
+	steps := 0
+	for {
+		// Jump to the next arrival when idle.
+		if len(running) == 0 {
+			if qi >= len(queue) {
+				break
+			}
+			if queue[qi].arrive > now {
+				now = queue[qi].arrive
+			}
+			admit()
+			if len(running) == 0 {
+				// KV pool cannot fit even one request: reject it.
+				queue[qi].finish = -1
+				qi++
+				continue
+			}
+		}
+		// One continuous-batching decode step: every running request
+		// produces one token.
+		b := len(running)
+		batchSamples = append(batchSamples, float64(b))
+		ctx := 0
+		for _, r := range running {
+			ctx += r.prompt + r.done
+		}
+		stepW := profiler.Workload{Batch: b, Prompt: 512, Context: ctx / b, Bits: c.Bits}
+		lt, err := profiler.LayerTime(c.GPU, c.Model, stepW)
+		if err != nil {
+			return Stats{}, err
+		}
+		now += lt * float64(c.Model.Layers)
+		keep := running[:0]
+		for _, r := range running {
+			r.done++
+			if r.done >= c.MaxNew {
+				r.finish = now
+				usedTok -= kvNeed(r)
+				finished = append(finished, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		running = keep
+		admit()
+		steps++
+		if steps > maxSteps {
+			return Stats{}, fmt.Errorf("online: runaway simulation after %d steps", steps)
+		}
+	}
+
+	st := Stats{KVCapacityTok: kvTokens}
+	var latencies []float64
+	for _, r := range queue {
+		if r.finish < 0 {
+			st.Rejected++
+		}
+	}
+	for _, r := range finished {
+		st.Completed++
+		st.GeneratedTok += c.MaxNew
+		latencies = append(latencies, r.finish-r.arrive)
+	}
+	if st.Completed == 0 {
+		return Stats{}, fmt.Errorf("online: nothing completed (arrival %.2f/s, kv %d tok)", c.Arrival, kvTokens)
+	}
+	st.Throughput = float64(st.GeneratedTok) / now
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	st.MeanLatency = sum / float64(len(latencies))
+	st.P95Latency = latencies[int(math.Min(float64(len(latencies)-1), 0.95*float64(len(latencies))))]
+	for _, b := range batchSamples {
+		st.MeanBatch += b
+	}
+	st.MeanBatch /= float64(len(batchSamples))
+	return st, nil
+}
+
+// SweepPoint is one (bits, arrival) measurement.
+type SweepPoint struct {
+	Bits    int
+	Arrival float64
+	Stats   Stats
+}
+
+// Sweep runs the precision × load grid of the §7 trade-off experiment.
+func Sweep(gpu hardware.GPU, cfg model.Config, bits []int, arrivals []float64, maxNew int, seed int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, b := range bits {
+		for _, a := range arrivals {
+			st, err := Run(Config{
+				GPU: gpu, Model: cfg, Bits: b, Arrival: a,
+				Duration: 60, MaxNew: maxNew, MaxBatch: 64, Seed: seed,
+			})
+			if err != nil {
+				// A precision that leaves no KV memory simply has no
+				// point at this load.
+				continue
+			}
+			out = append(out, SweepPoint{Bits: b, Arrival: a, Stats: st})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("online: empty sweep")
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+)
+
+func baseConfig() Config {
+	return Config{
+		GPU: hardware.A100, Model: model.OPT13B, Bits: 8,
+		Arrival: 2, Duration: 30, MaxNew: 64, MaxBatch: 64, Seed: 7,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	st, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed == 0 || st.Throughput <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	if st.MeanLatency <= 0 || st.P95Latency < st.MeanLatency {
+		t.Errorf("latency stats inconsistent: mean %.3f p95 %.3f", st.MeanLatency, st.P95Latency)
+	}
+	if st.MeanBatch < 1 {
+		t.Errorf("mean batch %.2f", st.MeanBatch)
+	}
+	if st.KVCapacityTok <= 0 {
+		t.Error("no KV capacity")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Completed != b.Completed {
+		t.Error("online simulation not reproducible")
+	}
+}
+
+func TestQuantizationFreesKVMemory(t *testing.T) {
+	c16 := baseConfig()
+	c16.Bits = 16
+	c4 := baseConfig()
+	c4.Bits = 4
+	s16, err := Run(c16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Run(c4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.KVCapacityTok <= s16.KVCapacityTok {
+		t.Errorf("4-bit weights should leave more KV memory: %d vs %d tokens", s4.KVCapacityTok, s16.KVCapacityTok)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := baseConfig()
+	c.Bits = 5
+	if _, err := Run(c); err == nil {
+		t.Error("expected bits error")
+	}
+	c = baseConfig()
+	c.Arrival = 0
+	if _, err := Run(c); err == nil {
+		t.Error("expected arrival error")
+	}
+	c = baseConfig()
+	c.MaxBatch = 0
+	if _, err := Run(c); err == nil {
+		t.Error("expected batch error")
+	}
+	// A model too big for the device at FP16 must error cleanly.
+	c = baseConfig()
+	c.Model = model.OPT66B
+	c.Bits = 16
+	if _, err := Run(c); err == nil {
+		t.Error("expected no-KV-memory error for OPT-66b FP16 on A100-40G")
+	}
+}
+
+func TestSpeedMemoryCrossover(t *testing.T) {
+	// The §7 trade-off: at LOW load, higher precision wins (faster
+	// kernels on V100, KV memory not binding); at HIGH load, lower
+	// precision wins (more KV pages → bigger continuous batches).
+	pts, err := Sweep(hardware.V100, model.OPT13B, []int{4, 16}, []float64{0.5, 24}, 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(bits int, arrival float64) (Stats, bool) {
+		for _, p := range pts {
+			if p.Bits == bits && p.Arrival == arrival {
+				return p.Stats, true
+			}
+		}
+		return Stats{}, false
+	}
+	// OPT-13b FP16 on a 30GB V100 leaves almost no KV: FP16 either errors
+	// out or serves tiny batches, while INT4 thrives at high load.
+	hi4, ok4 := get(4, 24)
+	if !ok4 {
+		t.Fatal("missing INT4 high-load point")
+	}
+	if hi16, ok := get(16, 24); ok {
+		if hi4.Throughput <= hi16.Throughput {
+			t.Errorf("high load: INT4 %.1f tok/s should beat FP16 %.1f (KV-bound)", hi4.Throughput, hi16.Throughput)
+		}
+	}
+	// Mean batch must grow with load for INT4.
+	lo4, ok := get(4, 0.5)
+	if !ok {
+		t.Fatal("missing INT4 low-load point")
+	}
+	if hi4.MeanBatch <= lo4.MeanBatch {
+		t.Errorf("continuous batching should batch more under load: %.2f vs %.2f", hi4.MeanBatch, lo4.MeanBatch)
+	}
+}

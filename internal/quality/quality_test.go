@@ -1,0 +1,162 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+var qCfg = nn.Config{Vocab: 128, Hidden: 32, FFN: 128, Layers: 8, Heads: 4, MaxSeq: 48, SensitivitySlope: 2.0}
+
+func newRef(t *testing.T) *Reference {
+	t.Helper()
+	r, err := NewReference(qCfg, 31, 4, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReferenceFP16Baseline(t *testing.T) {
+	r := newRef(t)
+	res, err := r.Measure(UniformBits(qCfg.Layers, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1.0 {
+		t.Errorf("FP16 agreement with itself should be 1.0, got %.4f", res.Accuracy)
+	}
+	if res.PPL <= 1 || math.IsNaN(res.PPL) {
+		t.Errorf("FP16 PPL %.4f implausible", res.PPL)
+	}
+}
+
+func TestReferenceQuantizationOrdering(t *testing.T) {
+	// Fig 4 shape: PPL(16) ≤ PPL(8) ≲ PPL(4) < PPL(3); accuracy opposite.
+	r := newRef(t)
+	ppl := map[int]float64{}
+	acc := map[int]float64{}
+	for _, b := range []int{16, 8, 4, 3} {
+		res, err := r.Measure(UniformBits(qCfg.Layers, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppl[b] = res.PPL
+		acc[b] = res.Accuracy
+	}
+	if !(ppl[4] <= ppl[3] && ppl[8] <= ppl[4]) {
+		t.Errorf("PPL ordering broken: %v", ppl)
+	}
+	if ppl[3] <= ppl[16] {
+		t.Errorf("INT3 PPL %.4f should exceed FP16 %.4f", ppl[3], ppl[16])
+	}
+	if acc[3] >= acc[16] {
+		t.Errorf("INT3 accuracy %.4f should trail FP16 %.4f", acc[3], acc[16])
+	}
+}
+
+func TestMixedBetweenUniform(t *testing.T) {
+	// Fig 4: mixed4-8 sits between uniform 4 and uniform 8.
+	r := newRef(t)
+	p8, _ := r.Measure(UniformBits(qCfg.Layers, 8))
+	p4, _ := r.Measure(UniformBits(qCfg.Layers, 4))
+	mix, err := r.Measure(MixedBits(qCfg.Layers, 4, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Min(p8.PPL, p4.PPL), math.Max(p8.PPL, p4.PPL)
+	slack := (hi - lo) * 0.3
+	if mix.PPL < lo-slack || mix.PPL > hi+slack {
+		t.Errorf("mixed4-8 PPL %.4f outside [%.4f, %.4f]", mix.PPL, lo, hi)
+	}
+}
+
+func TestMeasureRestoresModel(t *testing.T) {
+	r := newRef(t)
+	a, _ := r.Measure(UniformBits(qCfg.Layers, 16))
+	if _, err := r.Measure(UniformBits(qCfg.Layers, 3)); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Measure(UniformBits(qCfg.Layers, 16))
+	if a.PPL != b.PPL {
+		t.Errorf("Measure must restore the model: %.6f vs %.6f", a.PPL, b.PPL)
+	}
+}
+
+func TestLaterRangeHurtsMore(t *testing.T) {
+	// Table 1 ordering on the reference model.
+	r := newRef(t)
+	mk := func(lo, hi int) []int {
+		bits := UniformBits(qCfg.Layers, 16)
+		for i := lo; i < hi; i++ {
+			bits[i] = 4
+		}
+		return bits
+	}
+	early, err := r.Measure(mk(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := r.Measure(mk(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.PPL >= late.PPL {
+		t.Errorf("early-range PPL %.4f should be below late-range %.4f (Table 1)", early.PPL, late.PPL)
+	}
+}
+
+func TestScorerCalibration(t *testing.T) {
+	omega := indicator.Synthetic(model.OPT30B, []int{3, 4, 8, 16}, 1)
+	s, err := NewScorer("opt-30b", omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp16, err := s.PPL(UniformBits(model.OPT30B.Layers, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp16 != 10.70 {
+		t.Errorf("FP16 PPL %.4f, anchor 10.70", fp16)
+	}
+	int4, _ := s.PPL(UniformBits(model.OPT30B.Layers, 4))
+	if math.Abs(int4-10.80) > 1e-9 {
+		t.Errorf("uniform INT4 PPL %.4f, calibrated anchor 10.80", int4)
+	}
+	int8, _ := s.PPL(UniformBits(model.OPT30B.Layers, 8))
+	if int8 <= fp16 || int8 >= int4 {
+		t.Errorf("INT8 PPL %.4f should sit strictly between FP16 %.4f and INT4 %.4f", int8, fp16, int4)
+	}
+	int3, _ := s.PPL(UniformBits(model.OPT30B.Layers, 3))
+	if int3 <= int4 {
+		t.Errorf("INT3 PPL %.4f should exceed INT4 %.4f", int3, int4)
+	}
+	accFP, _ := s.Accuracy(UniformBits(model.OPT30B.Layers, 16))
+	acc3, _ := s.Accuracy(UniformBits(model.OPT30B.Layers, 3))
+	if acc3 >= accFP {
+		t.Errorf("accuracy should degrade: %.4f vs %.4f", acc3, accFP)
+	}
+}
+
+func TestScorerErrors(t *testing.T) {
+	omega := indicator.Synthetic(model.OPT30B, []int{3, 4, 8, 16}, 1)
+	if _, err := NewScorer("gpt-4", omega); err == nil {
+		t.Error("expected unknown model error")
+	}
+	s, _ := NewScorer("opt-30b", omega)
+	if _, err := s.PPL([]int{4}); err == nil {
+		t.Error("expected assignment length error")
+	}
+}
+
+func TestNewReferenceValidation(t *testing.T) {
+	if _, err := NewReference(qCfg, 1, 0, 28); err == nil {
+		t.Error("expected sequences error")
+	}
+	if _, err := NewReference(qCfg, 1, 2, 2); err == nil {
+		t.Error("expected tokens error")
+	}
+}

@@ -1,0 +1,62 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+)
+
+func TestSchemeQualityOrdering(t *testing.T) {
+	// §7: finer-grained scales (per-channel, group-wise) recover quality
+	// at the same nominal bitwidth — measured with real forward passes.
+	r := newRef(t)
+	pt, err := r.MeasureScheme(4, quant.PerTensor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := r.MeasureScheme(4, quant.PerChannel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := r.MeasureScheme(4, quant.GroupWise, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.PPL >= pt.PPL {
+		t.Errorf("per-channel PPL %.3f should beat per-tensor %.3f", pc.PPL, pt.PPL)
+	}
+	if gw.PPL >= pc.PPL {
+		t.Errorf("group-wise PPL %.3f should beat per-channel %.3f", gw.PPL, pc.PPL)
+	}
+	// The model must restore to FP16 afterwards.
+	base, err := r.Measure(UniformBits(qCfg.Layers, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Accuracy != 1.0 {
+		t.Error("model not restored after scheme measurement")
+	}
+}
+
+func TestGroupWiseClosesBitGap(t *testing.T) {
+	// Group-wise 4-bit should land much closer to FP16 than per-tensor
+	// 4-bit — the AWQ/SpQR selling point the paper cites.
+	r := newRef(t)
+	fp16, err := r.Measure(UniformBits(qCfg.Layers, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := r.MeasureScheme(4, quant.PerTensor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := r.MeasureScheme(4, quant.GroupWise, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossPT := pt.PPL - fp16.PPL
+	lossGW := gw.PPL - fp16.PPL
+	if lossGW > lossPT*0.6 {
+		t.Errorf("group-wise should recover ≥40%% of the 4-bit PPL loss: PT +%.3f vs GW +%.3f", lossPT, lossGW)
+	}
+}

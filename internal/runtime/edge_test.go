@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/assigner"
+)
+
+func TestEngineGenerateOne(t *testing.T) {
+	// n=1: every token comes out of prefill; no decode rounds at all.
+	s := rtSpec(2.2, 1.4)
+	s.Work.Generate = 1
+	p := planFor(t, s)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TokensOut != s.Work.GlobalBatch {
+		t.Errorf("tokens %d, want %d (one per request)", st.TokensOut, s.Work.GlobalBatch)
+	}
+	if st.LatencySec <= 0 {
+		t.Error("zero latency")
+	}
+}
+
+func TestEngineBatchNotDivisibleByMicrobatch(t *testing.T) {
+	// Global batch 7 with prefill micro-batch 4: last micro-batch is 3.
+	s := rtSpec(2.2, 1.4)
+	s.Work.GlobalBatch = 7
+	s.PrefillMicroBatches = []int{4}
+	p := planFor(t, s)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TokensOut != 7*s.Work.Generate {
+		t.Errorf("tokens %d, want %d", st.TokensOut, 7*s.Work.Generate)
+	}
+}
+
+func TestEngineRejectsMismatchedPlan(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	bad := *p
+	bad.Order = []int{0} // wrong device count
+	if _, err := NewEngine(s, &bad, nil); err == nil {
+		t.Error("expected plan validation error")
+	}
+}
+
+func TestEngineSingleStageNoComm(t *testing.T) {
+	s := rtSpec(24, 24)
+	s.Cluster.Devices = s.Cluster.Devices[:1]
+	res, err := assigner.Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(s, res.Plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan evaluator and the simulation must agree tightly with no
+	// inter-stage communication in play.
+	rel := (st.LatencySec - res.Eval.LatencySec) / st.LatencySec
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.15 {
+		t.Errorf("single-stage fidelity: eval %.3fs vs sim %.3fs", res.Eval.LatencySec, st.LatencySec)
+	}
+}

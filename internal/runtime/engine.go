@@ -1,0 +1,381 @@
+// Package runtime executes inference plans. It provides two engines:
+//
+//   - Engine (this file): a deterministic discrete-event simulation of the
+//     paper's distributed pipeline serving runtime — master engine,
+//     per-stage workers, asynchronous inter-stage communication, KV-cache
+//     reservation, micro-batch scheduling for both generation phases, and
+//     OOM detection. All timing comes from the same hardware model the
+//     profiler uses, so measured latencies play the role of the paper's
+//     testbed measurements.
+//
+//   - Pipeline (pipeline.go): a real goroutine-per-stage pipeline running
+//     the reference transformer, producing actual tokens — the functional
+//     counterpart used to validate plan execution end to end.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/assigner"
+	"repro/internal/costmodel"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
+)
+
+// OOMError reports a stage whose reserved memory exceeds device capacity —
+// the condition behind the missing baseline entries in Table 4.
+type OOMError struct {
+	Stage  int
+	Device string
+	NeedGB float64
+	HaveGB float64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("runtime: OOM on stage %d (%s): needs %.1fGB, capacity %.1fGB",
+		e.Stage, e.Device, e.NeedGB, e.HaveGB)
+}
+
+// Stats summarizes one serving run.
+type Stats struct {
+	LatencySec  float64 // end-to-end batch latency
+	PrefillSec  float64 // time until every request has its first token
+	Throughput  float64 // generated tokens per second
+	TokensOut   int
+	StageBusy   []float64 // per-stage busy seconds
+	StageMemGB  []float64 // per-stage reserved memory
+	Utilization []float64 // busy / latency
+	Events      int
+	// DowntimeSec is the injected stage outage, when a FailureInjection
+	// was configured.
+	DowntimeSec float64
+	// Trace holds per-task execution spans when Engine.Trace is set.
+	Trace []TaskSpan
+}
+
+// FailureInjection makes one pipeline stage fail mid-run and come back
+// after RecoverySec (the time to restream its shard through the §5
+// on-the-fly loader — see internal/loader.RecoveryTime). The task running
+// on the failed stage is lost and re-executed after recovery.
+type FailureInjection struct {
+	Stage       int
+	AtSec       float64
+	RecoverySec float64
+}
+
+// Validate checks the injection against a plan.
+func (fi *FailureInjection) Validate(stages int) error {
+	if fi.Stage < 0 || fi.Stage >= stages {
+		return fmt.Errorf("runtime: failure stage %d out of [0,%d)", fi.Stage, stages)
+	}
+	if fi.AtSec < 0 || fi.RecoverySec < 0 {
+		return fmt.Errorf("runtime: negative failure timing %+v", fi)
+	}
+	return nil
+}
+
+// Engine simulates plan execution on a cluster.
+type Engine struct {
+	Spec  *assigner.Spec
+	Plan  *assigner.Plan
+	Timer assigner.LayerTimer
+	// Failure, when non-nil, injects a stage outage (§5 recovery).
+	Failure *FailureInjection
+	// Trace records per-task execution spans into Stats.Trace (render with
+	// RenderGantt).
+	Trace bool
+}
+
+// NewEngine validates inputs and builds an engine.
+func NewEngine(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec); err != nil {
+		return nil, err
+	}
+	if timer == nil {
+		timer = assigner.ProfilerTimer{}
+	}
+	return &Engine{Spec: spec, Plan: plan, Timer: timer}, nil
+}
+
+type task struct {
+	mb      int // micro-batch index
+	batch   int // requests in this micro-batch
+	prefill bool
+	round   int // decode round (tokens already held per request)
+}
+
+type stage struct {
+	device    int
+	layerBits []int
+	queue     []task
+	busy      bool
+	busyTime  float64
+	// epoch increments when the stage fails; completions from an older
+	// epoch are discarded and their task re-queued (the work was lost).
+	epoch int
+	down  bool
+	cur   task
+}
+
+// Run simulates the full offline task and returns measured statistics.
+func (e *Engine) Run() (Stats, error) {
+	s := e.Spec
+	p := e.Plan
+	n := p.NumStages()
+	stages := make([]*stage, n)
+	stageBits := p.StageLayerBits(s.Cfg.Layers)
+	maxSeq := s.Work.Prompt + s.Work.Generate
+
+	var stats Stats
+	stats.StageMemGB = make([]float64, n)
+	// Startup: load shards, reserve KV, detect OOM.
+	for j := 0; j < n; j++ {
+		d := p.Order[j]
+		dev := s.Cluster.Devices[d]
+		stages[j] = &stage{device: d, layerBits: stageBits[j]}
+		in := costmodel.MemoryInput{
+			Cfg: s.Cfg, LayerBits: stageBits[j], GlobalBatch: s.Work.GlobalBatch,
+			MaxSeq: maxSeq, MicroBatch: p.PrefillMB, PromptLen: s.Work.Prompt,
+			First: j == 0, Last: j == n-1, KVBits: s.KVBits,
+		}
+		br, err := costmodel.StageMemory(in)
+		if err != nil {
+			return Stats{}, err
+		}
+		stats.StageMemGB[j] = br.Total / 1e9
+		if br.Total > dev.GPU.MemoryBytes() {
+			return Stats{}, &OOMError{Stage: j, Device: dev.GPU.Name, NeedGB: br.Total / 1e9, HaveGB: dev.GPU.MemoryGB}
+		}
+	}
+
+	clk := simclock.New()
+	B := s.Work.GlobalBatch
+	kp := (B + p.PrefillMB - 1) / p.PrefillMB
+	kd := (B + p.DecodeMB - 1) / p.DecodeMB
+
+	prefillDone := 0
+	decodeDone := 0
+	tokens := 0
+	var prefillEnd float64
+	var simErr error
+	fail := func(err error) {
+		if simErr == nil {
+			simErr = err
+		}
+	}
+
+	var dispatch func(j int)
+	arrive := func(j int, t task) {
+		stages[j].queue = append(stages[j].queue, t)
+		dispatch(j)
+	}
+
+	// Completion at the last stage.
+	finish := func(t task) {
+		if t.prefill {
+			prefillDone++
+			tokens += t.batch // first token comes out of prefill
+			if prefillDone == kp {
+				prefillEnd = clk.Now()
+				// Master regroups into decode micro-batches (hybrid
+				// micro-batch sizing, §3). One return hop to the master.
+				if s.Work.Generate > 1 {
+					ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1)
+					for m := 0; m < kd; m++ {
+						mb := m
+						if err := clk.After(ret, func() {
+							arrive(0, task{mb: mb, batch: e.decodeBatch(mb, kd), round: 1})
+						}); err != nil {
+							fail(err)
+						}
+					}
+				}
+			}
+			return
+		}
+		tokens += t.batch
+		if t.round+1 < s.Work.Generate {
+			ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1)
+			next := task{mb: t.mb, batch: t.batch, round: t.round + 1}
+			if err := clk.After(ret, func() { arrive(0, next) }); err != nil {
+				fail(err)
+			}
+		} else {
+			decodeDone++
+		}
+	}
+
+	dispatch = func(j int) {
+		st := stages[j]
+		if st.busy || st.down || len(st.queue) == 0 {
+			return
+		}
+		t := st.queue[0]
+		st.queue = st.queue[1:]
+		st.busy = true
+		st.cur = t
+		dur, err := e.stageTime(j, t)
+		if err != nil {
+			fail(err)
+			return
+		}
+		st.busyTime += dur
+		epoch := st.epoch
+		startAt := clk.Now()
+		if err := clk.After(dur, func() {
+			if st.epoch != epoch {
+				// The stage failed while this task ran: the work is lost;
+				// it was already re-queued by the failure handler.
+				return
+			}
+			if e.Trace {
+				stats.Trace = append(stats.Trace, TaskSpan{
+					Stage: j, MB: t.mb, Round: t.round, Prefill: t.prefill,
+					Start: startAt, End: clk.Now(),
+				})
+			}
+			st.busy = false
+			if j < n-1 {
+				var comm float64
+				if t.prefill {
+					comm = e.commTime(p.Order[j], p.Order[j+1], t.batch, s.Work.Prompt)
+				} else {
+					comm = e.commTime(p.Order[j], p.Order[j+1], t.batch, 1)
+				}
+				tt := t
+				if err := clk.After(comm, func() { arrive(j+1, tt) }); err != nil {
+					fail(err)
+				}
+			} else {
+				finish(t)
+			}
+			dispatch(j)
+		}); err != nil {
+			fail(err)
+		}
+	}
+
+	// Failure injection (§5 recovery path).
+	if fi := e.Failure; fi != nil {
+		if err := fi.Validate(n); err != nil {
+			return Stats{}, err
+		}
+		st := stages[fi.Stage]
+		if err := clk.At(fi.AtSec, func() {
+			st.down = true
+			st.epoch++
+			if st.busy {
+				// The in-flight task is lost; put it back at the head.
+				st.queue = append([]task{st.cur}, st.queue...)
+				st.busy = false
+			}
+		}); err != nil {
+			return Stats{}, err
+		}
+		if err := clk.At(fi.AtSec+fi.RecoverySec, func() {
+			st.down = false
+			dispatch(fi.Stage)
+		}); err != nil {
+			return Stats{}, err
+		}
+		stats.DowntimeSec = fi.RecoverySec
+	}
+
+	// Kick off: master embeds and injects prefill micro-batches.
+	for m := 0; m < kp; m++ {
+		mb := m
+		batch := p.PrefillMB
+		if mb == kp-1 {
+			batch = B - p.PrefillMB*(kp-1)
+		}
+		if err := clk.At(0, func() { arrive(0, task{mb: mb, batch: batch, prefill: true}) }); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	if err := clk.Run(20_000_000); err != nil {
+		return Stats{}, err
+	}
+	if simErr != nil {
+		return Stats{}, simErr
+	}
+	if s.Work.Generate > 1 && decodeDone != kd {
+		return Stats{}, fmt.Errorf("runtime: simulation ended with %d/%d decode micro-batches complete", decodeDone, kd)
+	}
+
+	stats.LatencySec = clk.Now()
+	stats.PrefillSec = prefillEnd
+	stats.TokensOut = tokens
+	stats.Throughput = float64(B*s.Work.Generate) / stats.LatencySec
+	stats.Events = clk.Fired()
+	stats.StageBusy = make([]float64, n)
+	stats.Utilization = make([]float64, n)
+	for j, st := range stages {
+		stats.StageBusy[j] = st.busyTime
+		stats.Utilization[j] = st.busyTime / stats.LatencySec
+	}
+	return stats, nil
+}
+
+// stageTime computes the execution time of one task on stage j: the sum of
+// its layers at their precisions, plus master pre/post-processing on the
+// first stage.
+func (e *Engine) stageTime(j int, t task) (float64, error) {
+	s := e.Spec
+	p := e.Plan
+	d := p.Order[j]
+	gpu := s.Cluster.Devices[d].GPU
+	var total float64
+	bits := p.StageLayerBits(s.Cfg.Layers)[j]
+	for _, b := range bits {
+		var w profiler.Workload
+		if t.prefill {
+			w = profiler.Workload{Batch: t.batch, Prompt: s.Work.Prompt, Prefill: true, Bits: b, KV: s.KVBits}
+		} else {
+			ctx := s.Work.Prompt + t.round
+			w = profiler.Workload{Batch: t.batch, Prompt: s.Work.Prompt, Context: ctx, Bits: b, KV: s.KVBits}
+		}
+		lt, err := e.Timer.Layer(gpu, s.Cfg, w)
+		if err != nil {
+			return 0, err
+		}
+		total += lt
+	}
+	if j == 0 {
+		tokens := 1
+		if t.prefill {
+			tokens = s.Work.Prompt
+		}
+		et, err := profiler.EmbedTime(gpu, s.Cfg, t.batch, tokens)
+		if err != nil {
+			return 0, err
+		}
+		total += et
+	}
+	return total, nil
+}
+
+// commTime is the transfer time of a micro-batch's activations between two
+// devices.
+func (e *Engine) commTime(from, to, batch, tokens int) float64 {
+	s := e.Spec
+	if from == to {
+		return 0
+	}
+	link := s.Cluster.LinkBetween(s.Cluster.Devices[from], s.Cluster.Devices[to])
+	bytes := float64(batch) * float64(tokens) * float64(s.Cfg.Hidden) * 2
+	return link.TransferTime(bytes)
+}
+
+// decodeBatch sizes decode micro-batch m of kd.
+func (e *Engine) decodeBatch(m, kd int) int {
+	B := e.Spec.Work.GlobalBatch
+	mb := e.Plan.DecodeMB
+	if m == kd-1 {
+		return B - mb*(kd-1)
+	}
+	return mb
+}

@@ -1,0 +1,184 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Pipeline runs the reference transformer across goroutine "workers", one
+// per pipeline stage, with channels as the interconnect — a functional
+// miniature of the paper's distributed runtime (§3, §5): the master engine
+// does embedding lookup and logits post-processing, each worker owns a
+// contiguous layer shard at its own mixed precision and its shard's KV
+// cache, and activations stream between stages asynchronously.
+type Pipeline struct {
+	model      *nn.Model
+	boundaries []int // len = stages+1, over layers
+	stages     int
+}
+
+// NewPipeline shards a reference model at the given layer boundaries and
+// applies the per-layer bit assignment.
+func NewPipeline(m *nn.Model, boundaries []int, layerBits []int) (*Pipeline, error) {
+	L := len(m.Layers)
+	if len(boundaries) < 2 || boundaries[0] != 0 || boundaries[len(boundaries)-1] != L {
+		return nil, fmt.Errorf("runtime: boundaries %v must span [0,%d]", boundaries, L)
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			return nil, fmt.Errorf("runtime: non-increasing boundaries %v", boundaries)
+		}
+	}
+	if len(layerBits) != L {
+		return nil, fmt.Errorf("runtime: %d layer bits for %d layers", len(layerBits), L)
+	}
+	if err := m.ApplyBitAssignment(layerBits, quant.Deterministic, nil); err != nil {
+		return nil, err
+	}
+	return &Pipeline{model: m, boundaries: boundaries, stages: len(boundaries) - 1}, nil
+}
+
+// activation is the inter-stage message: hidden states of one request.
+type activation struct {
+	req int
+	x   *tensor.Matrix
+}
+
+// Generate serves a batch of prompts, producing `n` tokens per prompt by
+// greedy decoding. Requests are pipelined: while stage 2 decodes request A,
+// stage 1 can process request B. Output is deterministic (greedy), so
+// results are independent of goroutine scheduling.
+func (p *Pipeline) Generate(prompts [][]int, n int) ([][]int, error) {
+	if len(prompts) == 0 || n <= 0 {
+		return nil, fmt.Errorf("runtime: need prompts and n>0")
+	}
+	R := len(prompts)
+	// Per-request per-stage KV caches (indexed by absolute layer).
+	caches := make([][]*nn.KVCache, R)
+	lengths := make([]int, R)
+	outputs := make([][]int, R)
+	for r := range prompts {
+		if len(prompts[r]) == 0 {
+			return nil, fmt.Errorf("runtime: empty prompt %d", r)
+		}
+		caches[r] = make([]*nn.KVCache, p.stages)
+		for j := 0; j < p.stages; j++ {
+			caches[r][j] = p.model.NewCache()
+		}
+		outputs[r] = append([]int(nil), prompts[r]...)
+	}
+
+	// Channels between stages; master feeds chans[0], collects from done.
+	chans := make([]chan activation, p.stages+1)
+	for i := range chans {
+		chans[i] = make(chan activation, R)
+	}
+	errCh := make(chan error, p.stages+1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards caches (each req visits stages in order, so per-req access is already serialized; mu protects the slice headers)
+
+	for j := 0; j < p.stages; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(chans[j+1]) // always unwind the cascade
+			lo, hi := p.boundaries[j], p.boundaries[j+1]
+			for act := range chans[j] {
+				mu.Lock()
+				cache := caches[act.req][j]
+				mu.Unlock()
+				out, err := p.model.ForwardRange(lo, hi, act.x, cache)
+				if err != nil {
+					errCh <- fmt.Errorf("stage %d: %w", j, err)
+					return
+				}
+				chans[j+1] <- activation{req: act.req, x: out}
+			}
+		}()
+	}
+
+	var closeInput sync.Once
+	shutdown := func() { closeInput.Do(func() { close(chans[0]) }) }
+
+	// Master: inject prefill for every request, then drive decode rounds.
+	masterErr := func() error {
+		defer shutdown()
+		// Prefill all requests (pipelined).
+		for r := 0; r < R; r++ {
+			x, err := p.model.EmbedTokens(prompts[r], 0)
+			if err != nil {
+				return err
+			}
+			lengths[r] = len(prompts[r])
+			chans[0] <- activation{req: r, x: x}
+		}
+		pending := R
+		remaining := make([]int, R)
+		for r := range remaining {
+			remaining[r] = n
+		}
+		for pending > 0 {
+			var act activation
+			var ok bool
+			select {
+			case act, ok = <-chans[p.stages]:
+				if !ok {
+					return fmt.Errorf("runtime: pipeline closed early")
+				}
+			case err := <-errCh:
+				return err
+			}
+			r := act.req
+			logits, err := p.model.Logits(act.x)
+			if err != nil {
+				return err
+			}
+			tok := argmax(logits.Row(logits.Rows - 1))
+			outputs[r] = append(outputs[r], tok)
+			remaining[r]--
+			if remaining[r] == 0 || lengths[r]+1 > p.model.Cfg.MaxSeq {
+				pending--
+				continue
+			}
+			x, err := p.model.EmbedTokens([]int{tok}, lengths[r])
+			if err != nil {
+				return err
+			}
+			lengths[r]++
+			chans[0] <- activation{req: r, x: x}
+		}
+		return nil
+	}()
+
+	shutdown()
+	// Drain the tail channel so workers never block while unwinding.
+	go func() {
+		for range chans[p.stages] {
+		}
+	}()
+	wg.Wait()
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return outputs, nil
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

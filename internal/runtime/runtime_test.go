@@ -1,0 +1,272 @@
+package runtime
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+func testGPU(name string, memGB, tflops, bw float64) hardware.GPU {
+	return hardware.GPU{
+		Name: name, MemoryGB: memGB, FP16TFLOPS: tflops, BandwidthGBs: bw,
+		ComputeEff:       map[int]float64{3: 0.45, 4: 0.5, 8: 0.8, 16: 1.0},
+		MemEff:           map[int]float64{3: 0.7, 4: 0.78, 8: 0.91, 16: 1.0},
+		LaunchOverheadUS: 10,
+	}
+}
+
+var rtModel = model.Config{
+	Name: "rt-test", Family: model.OPT, Hidden: 2048, FFN: 8192,
+	Layers: 8, Heads: 16, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true,
+}
+
+func rtSpec(memA, memB float64) *assigner.Spec {
+	fast := testGPU("fast", memA, 50, 600)
+	slow := testGPU("slow", memB, 12, 300)
+	return &assigner.Spec{
+		Cfg: rtModel,
+		Cluster: hardware.Cluster{
+			Name: "rt", InterNode: hardware.Eth800Gbps,
+			Devices: []hardware.Device{
+				{ID: 0, GPU: slow, Node: 0},
+				{ID: 1, GPU: fast, Node: 1},
+			},
+		},
+		Work:   assigner.Workload{GlobalBatch: 8, Prompt: 128, Generate: 16},
+		Bits:   []int{4, 8, 16},
+		Omega:  rtOmega(),
+		Theta:  0.01,
+		Method: assigner.MethodDP,
+	}
+}
+
+func rtOmega() indicator.Omega {
+	full := indicator.Synthetic(rtModel, []int{3, 4, 8, 16}, 7)
+	out := indicator.Omega{Bits: []int{4, 8, 16}}
+	for l := 0; l < full.Layers(); l++ {
+		row := make([]float64, 3)
+		for i, b := range []int{4, 8, 16} {
+			v, _ := full.At(l, b)
+			row[i] = v
+		}
+		out.Values = append(out.Values, row)
+	}
+	return out
+}
+
+func planFor(t *testing.T, s *assigner.Spec) *assigner.Plan {
+	t.Helper()
+	res, err := assigner.Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+func TestEngineRunsPlan(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencySec <= 0 {
+		t.Fatalf("latency %.4g", st.LatencySec)
+	}
+	wantTokens := s.Work.GlobalBatch * s.Work.Generate
+	if st.TokensOut != wantTokens {
+		t.Errorf("tokens out %d, want %d", st.TokensOut, wantTokens)
+	}
+	if st.PrefillSec <= 0 || st.PrefillSec >= st.LatencySec {
+		t.Errorf("prefill %.4g vs latency %.4g", st.PrefillSec, st.LatencySec)
+	}
+	for j, u := range st.Utilization {
+		if u <= 0 || u > 1 {
+			t.Errorf("stage %d utilization %.3f out of (0,1]", j, u)
+		}
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, _ := NewEngine(s, p, nil)
+	a, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatencySec != b.LatencySec || a.Events != b.Events {
+		t.Errorf("non-deterministic simulation: %.9f/%d vs %.9f/%d", a.LatencySec, a.Events, b.LatencySec, b.Events)
+	}
+}
+
+func TestEngineMatchesEvaluatorWithinTolerance(t *testing.T) {
+	// The assigner's cost model and the event simulation must agree on
+	// latency within a modest error (Fig 7 spirit: <6% on layer latency;
+	// end-to-end pipeline adds scheduling effects — allow 25%).
+	s := rtSpec(2.2, 1.4)
+	res, err := assigner.Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := NewEngine(s, res.Plan, nil)
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(st.LatencySec-res.Eval.LatencySec) / st.LatencySec
+	if rel > 0.25 {
+		t.Errorf("cost model %.4gs vs simulated %.4gs: %.0f%% error", res.Eval.LatencySec, st.LatencySec, rel*100)
+	}
+}
+
+func TestEngineOOM(t *testing.T) {
+	// FP16 everywhere on starved devices must OOM at startup.
+	s := rtSpec(0.4, 0.4)
+	p := &assigner.Plan{
+		Order: []int{0, 1}, Boundaries: []int{0, 4, 8},
+		GroupBits: []int{16, 16, 16, 16, 16, 16, 16, 16},
+		Group:     1, PrefillMB: 4, DecodeMB: 4,
+	}
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run()
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected OOM error, got %v", err)
+	}
+	if oom.NeedGB <= oom.HaveGB {
+		t.Errorf("inconsistent OOM report %+v", oom)
+	}
+}
+
+func TestEngineQuantizedFasterThanFP16WhenMemoryBound(t *testing.T) {
+	// Decode is memory-bound: INT4 layers should serve tokens faster than
+	// FP16 on the same (big-memory) devices, once generation is long
+	// enough that decode dominates the compute-bound prefill.
+	s := rtSpec(24, 24)
+	s.Work = assigner.Workload{GlobalBatch: 8, Prompt: 64, Generate: 64}
+	mk := func(bits int) Stats {
+		p := &assigner.Plan{
+			Order: []int{0, 1}, Boundaries: []int{0, 4, 8},
+			GroupBits: []int{bits, bits, bits, bits, bits, bits, bits, bits},
+			Group:     1, PrefillMB: 8, DecodeMB: 4,
+		}
+		eng, err := NewEngine(s, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	fp16 := mk(16)
+	int4 := mk(4)
+	if int4.Throughput <= fp16.Throughput {
+		t.Errorf("INT4 throughput %.1f should beat FP16 %.1f (decode memory-bound)", int4.Throughput, fp16.Throughput)
+	}
+}
+
+func TestPipelineMatchesSingleProcessGeneration(t *testing.T) {
+	// The goroutine pipeline must produce exactly the tokens the
+	// single-process model produces (greedy decoding).
+	cfg := nn.Config{Vocab: 96, Hidden: 32, FFN: 128, Layers: 6, Heads: 4, MaxSeq: 40, SensitivitySlope: 1}
+	ref, err := nn.New(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []int{16, 16, 8, 8, 16, 16}
+	// Single-process greedy generation.
+	single, err := nn.New(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.ApplyBitAssignment(bits, quant.Deterministic, nil); err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{3, 14, 15}, {9, 2, 6, 5}, {31}}
+	n := 8
+	var want [][]int
+	for _, pr := range prompts {
+		seq := append([]int(nil), pr...)
+		cache := single.NewCache()
+		logits, err := single.Forward(pr, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			tok := argmax(logits.Row(logits.Rows - 1))
+			seq = append(seq, tok)
+			if len(seq) >= cfg.MaxSeq {
+				break
+			}
+			logits, err = single.Forward([]int{tok}, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		want = append(want, seq)
+	}
+	// Pipelined generation over 3 stages.
+	pl, err := NewPipeline(ref, []int{0, 2, 4, 6}, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Generate(prompts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("request %d: length %d vs %d", r, len(got[r]), len(want[r]))
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("request %d diverges at %d: %v vs %v", r, i, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := nn.Config{Vocab: 96, Hidden: 32, FFN: 128, Layers: 4, Heads: 4, MaxSeq: 32, SensitivitySlope: 1}
+	m, _ := nn.New(cfg, 1)
+	if _, err := NewPipeline(m, []int{0, 2}, []int{16, 16, 16, 16}); err == nil {
+		t.Error("expected span error")
+	}
+	if _, err := NewPipeline(m, []int{0, 2, 2, 4}, []int{16, 16, 16, 16}); err == nil {
+		t.Error("expected empty-stage error")
+	}
+	if _, err := NewPipeline(m, []int{0, 4}, []int{16}); err == nil {
+		t.Error("expected bits-length error")
+	}
+	pl, err := NewPipeline(m, []int{0, 2, 4}, []int{16, 16, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Generate(nil, 4); err == nil {
+		t.Error("expected empty-prompts error")
+	}
+	if _, err := pl.Generate([][]int{{}}, 4); err == nil {
+		t.Error("expected empty-prompt error")
+	}
+}

@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsAllTasks(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Trace = true
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Every span is well-formed and within the run.
+	kp := (s.Work.GlobalBatch + p.PrefillMB - 1) / p.PrefillMB
+	kd := (s.Work.GlobalBatch + p.DecodeMB - 1) / p.DecodeMB
+	wantTasks := p.NumStages() * (kp + kd*(s.Work.Generate-1))
+	if len(st.Trace) != wantTasks {
+		t.Errorf("trace has %d spans, want %d", len(st.Trace), wantTasks)
+	}
+	var prefill, decode int
+	for _, sp := range st.Trace {
+		if sp.Start < 0 || sp.End <= sp.Start || sp.End > st.LatencySec+1e-9 {
+			t.Fatalf("bad span %+v (latency %.4f)", sp, st.LatencySec)
+		}
+		if sp.Prefill {
+			prefill++
+		} else {
+			decode++
+		}
+	}
+	if prefill == 0 || decode == 0 {
+		t.Error("trace should contain both phases")
+	}
+	// Trace-derived busy time must match the engine's accounting.
+	busy, err := BusyFraction(st.Trace, p.NumStages(), st.LatencySec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range busy {
+		if math.Abs(busy[j]-st.Utilization[j]) > 1e-6 {
+			t.Errorf("stage %d: trace busy %.4f vs engine %.4f", j, busy[j], st.Utilization[j])
+		}
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, _ := NewEngine(s, p, nil)
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trace) != 0 {
+		t.Error("trace recorded without Trace flag")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	spans := []TaskSpan{
+		{Stage: 0, Prefill: true, Start: 0, End: 1},
+		{Stage: 1, Prefill: true, Start: 1, End: 2},
+		{Stage: 0, Start: 2, End: 3},
+		{Stage: 1, Start: 3, End: 4},
+	}
+	out, err := RenderGantt(spans, 2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "P") || !strings.Contains(lines[1], "d") {
+		t.Errorf("stage 0 row should show both phases: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "·") {
+		t.Errorf("stage 0 row should show idle cells: %q", lines[1])
+	}
+	if _, err := RenderGantt(spans, 0, 4, 8); err == nil {
+		t.Error("expected stages error")
+	}
+	if _, err := RenderGantt([]TaskSpan{{Stage: 5, End: 1}}, 2, 4, 8); err == nil {
+		t.Error("expected out-of-range span error")
+	}
+	if _, err := RenderGantt(nil, 2, 0, 8); err == nil {
+		t.Error("expected empty-trace error")
+	}
+}
+
+func TestGanttFromRealRun(t *testing.T) {
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, _ := NewEngine(s, p, nil)
+	eng.Trace = true
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderGantt(st.Trace, p.NumStages(), st.LatencySec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stage 0") || !strings.Contains(out, "stage 1") {
+		t.Errorf("gantt missing stage rows:\n%s", out)
+	}
+}

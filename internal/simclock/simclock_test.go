@@ -1,0 +1,103 @@
+package simclock
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(2.0, func() { order = append(order, 2) })
+	c.At(1.0, func() { order = append(order, 1) })
+	c.At(3.0, func() { order = append(order, 3) })
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order %v", order)
+	}
+	if c.Now() != 3.0 {
+		t.Errorf("final time %.3f", c.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.At(1.0, func() { order = append(order, i) })
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var hits []float64
+	c.At(1.0, func() {
+		hits = append(hits, c.Now())
+		c.After(0.5, func() { hits = append(hits, c.Now()) })
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 1.0 || hits[1] != 1.5 {
+		t.Errorf("hits %v", hits)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := New()
+	c.At(1.0, func() {})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.At(0.5, func() {}); err == nil {
+		t.Error("expected past-scheduling error")
+	}
+	if err := c.After(-1, func() {}); err == nil {
+		t.Error("expected negative-delay error")
+	}
+	if err := c.At(2.0, nil); err == nil {
+		t.Error("expected nil-callback error")
+	}
+}
+
+func TestRunawayProtection(t *testing.T) {
+	c := New()
+	var loop func()
+	loop = func() { c.After(0.001, loop) }
+	c.After(0, loop)
+	if err := c.Run(100); err == nil {
+		t.Error("expected runaway error")
+	}
+	if c.Fired() != 100 {
+		t.Errorf("fired %d, want 100", c.Fired())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		c := New()
+		var ts []float64
+		for i := 0; i < 10; i++ {
+			d := float64(i%3) * 0.1
+			c.At(d, func() { ts = append(ts, c.Now()) })
+		}
+		c.Run(0)
+		return ts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic event times")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulATEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := Randn(6, 4, 1, rng)
+	b := Randn(6, 5, 1, rng)
+	// aᵀ·b via explicit transpose.
+	at := New(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want, err := MatMul(at, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MatMulAT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 4 || got.Cols != 5 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("MatMulAT mismatch at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	if _, err := MatMulAT(a, New(3, 2)); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}

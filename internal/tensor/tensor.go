@@ -1,0 +1,276 @@
+// Package tensor provides the minimal dense linear algebra the reference
+// transformer (internal/nn) needs: row-major float64 matrices with matmul,
+// broadcast row ops, softmax, layernorm, and GELU. Everything is pure Go
+// with cache-friendly ikj matmul; sizes stay small (the reference models run
+// on CPUs), so no further blocking is needed.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps existing data (not copied).
+func FromData(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: data length %d != %dx%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// Randn fills a new matrix with N(0, sigma²) entries.
+func Randn(rows, cols int, sigma float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MatMul computes a × b.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := ar[k]
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range br {
+				or[j] += av * br[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulAT computes aᵀ × b — the shape that appears in weight gradients
+// (dW = Xᵀ·dY).
+func MatMulAT(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("tensor: matmulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Row(i)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulT computes a × bᵀ.
+func MatMulT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float64
+			for k := range ar {
+				s += ar[k] * br[k]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out, nil
+}
+
+// AddRow adds bias vector v to each row in place.
+func (m *Matrix) AddRow(v []float64) error {
+	if len(v) != m.Cols {
+		return fmt.Errorf("tensor: bias length %d != cols %d", len(v), m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] += v[j]
+		}
+	}
+	return nil
+}
+
+// Add adds b elementwise in place.
+func (m *Matrix) Add(b *Matrix) error {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return fmt.Errorf("tensor: add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return nil
+}
+
+// Scale multiplies all elements in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		maxV := math.Inf(-1)
+		for _, v := range r {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range r {
+			e := math.Exp(v - maxV)
+			r[j] = e
+			sum += e
+		}
+		for j := range r {
+			r[j] /= sum
+		}
+	}
+}
+
+// CausalMask sets entries above the diagonal offset to -inf, for
+// autoregressive attention. offset is the number of past (cached) positions:
+// row i may attend to columns 0..offset+i.
+func (m *Matrix) CausalMask(offset int) {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := offset + i + 1; j < m.Cols; j++ {
+			r[j] = math.Inf(-1)
+		}
+	}
+}
+
+// LayerNormRows normalizes each row to zero mean / unit variance, then
+// applies elementwise gain and bias.
+func (m *Matrix) LayerNormRows(gain, bias []float64) error {
+	if len(gain) != m.Cols || len(bias) != m.Cols {
+		return fmt.Errorf("tensor: layernorm params length %d/%d != cols %d", len(gain), len(bias), m.Cols)
+	}
+	const eps = 1e-5
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		var mean float64
+		for _, v := range r {
+			mean += v
+		}
+		mean /= float64(len(r))
+		var variance float64
+		for _, v := range r {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(r))
+		inv := 1 / math.Sqrt(variance+eps)
+		for j := range r {
+			r[j] = (r[j]-mean)*inv*gain[j] + bias[j]
+		}
+	}
+	return nil
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place.
+func (m *Matrix) GELU() {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range m.Data {
+		m.Data[i] = 0.5 * v * (1 + math.Tanh(c*(v+0.044715*v*v*v)))
+	}
+}
+
+// Mean returns the mean of all elements.
+func (m *Matrix) Mean() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s / float64(len(m.Data))
+}
+
+// Variance returns the population variance of all elements.
+func (m *Matrix) Variance() float64 {
+	mean := m.Mean()
+	var s float64
+	for _, v := range m.Data {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(m.Data))
+}
+
+// Slice returns a copy of rows [lo, hi).
+func (m *Matrix) Slice(lo, hi int) (*Matrix, error) {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		return nil, fmt.Errorf("tensor: slice [%d,%d) out of %d rows", lo, hi, m.Rows)
+	}
+	out := New(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out, nil
+}
+
+// VStack concatenates matrices by rows.
+func VStack(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("tensor: vstack of nothing")
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			return nil, fmt.Errorf("tensor: vstack col mismatch %d vs %d", m.Cols, cols)
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return out, nil
+}

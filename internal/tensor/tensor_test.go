@@ -1,0 +1,194 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := FromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("matmul[%d]=%g want %g", i, c.Data[i], v)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Error("expected shape mismatch")
+	}
+}
+
+func TestMatMulTEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(5, 7, 1, rng)
+	b := Randn(4, 7, 1, rng)
+	// a × bᵀ must equal MatMul(a, transpose(b)).
+	bt := New(7, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 7; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want, _ := MatMul(a, bt)
+	got, err := MatMulT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("MatMulT mismatch at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Randn(4, 9, 10, rng)
+		m.SoftmaxRows()
+		for i := 0; i < m.Rows; i++ {
+			var s float64
+			for _, v := range m.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStableWithLargeValues(t *testing.T) {
+	m, _ := FromData(1, 3, []float64{1e30, 1e30, 0})
+	m.SoftmaxRows()
+	if math.IsNaN(m.Data[0]) || math.Abs(m.Data[0]-0.5) > 1e-9 {
+		t.Errorf("softmax unstable: %v", m.Data)
+	}
+}
+
+func TestCausalMask(t *testing.T) {
+	m := New(3, 5)
+	m.CausalMask(2) // 2 cached positions: row i sees cols 0..2+i
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			masked := math.IsInf(m.At(i, j), -1)
+			want := j > 2+i
+			if masked != want {
+				t.Errorf("mask(%d,%d)=%v want %v", i, j, masked, want)
+			}
+		}
+	}
+	// Masked softmax puts zero probability on future positions.
+	m2 := New(2, 4)
+	m2.CausalMask(0)
+	m2.SoftmaxRows()
+	if m2.At(0, 1) != 0 || m2.At(0, 0) != 1 {
+		t.Errorf("row 0 after causal softmax: %v", m2.Row(0))
+	}
+}
+
+func TestLayerNormRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Randn(6, 32, 5, rng)
+	gain := make([]float64, 32)
+	bias := make([]float64, 32)
+	for i := range gain {
+		gain[i] = 1
+	}
+	if err := m.LayerNormRows(gain, bias); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		var mean, v float64
+		for _, x := range r {
+			mean += x
+		}
+		mean /= float64(len(r))
+		for _, x := range r {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(r))
+		if math.Abs(mean) > 1e-9 || math.Abs(v-1) > 1e-3 {
+			t.Errorf("row %d: mean=%.3g var=%.3g after layernorm", i, mean, v)
+		}
+	}
+	if err := m.LayerNormRows(gain[:3], bias); err == nil {
+		t.Error("expected param-length error")
+	}
+}
+
+func TestGELUProperties(t *testing.T) {
+	m, _ := FromData(1, 4, []float64{-10, 0, 1, 10})
+	m.GELU()
+	if math.Abs(m.Data[0]) > 1e-3 {
+		t.Errorf("gelu(-10) should be ≈0, got %g", m.Data[0])
+	}
+	if m.Data[1] != 0 {
+		t.Errorf("gelu(0)=%g want 0", m.Data[1])
+	}
+	if math.Abs(m.Data[2]-0.8412) > 0.01 {
+		t.Errorf("gelu(1)=%g want ≈0.8412", m.Data[2])
+	}
+	if math.Abs(m.Data[3]-10) > 1e-3 {
+		t.Errorf("gelu(10)=%g want ≈10", m.Data[3])
+	}
+}
+
+func TestSliceVStackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Randn(10, 3, 1, rng)
+	a, err := m.Slice(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Slice(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := VStack(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if back.Data[i] != m.Data[i] {
+			t.Fatal("vstack(slice) did not round-trip")
+		}
+	}
+	if _, err := m.Slice(5, 3); err == nil {
+		t.Error("expected slice range error")
+	}
+	if _, err := VStack(); err == nil {
+		t.Error("expected empty vstack error")
+	}
+}
+
+func TestAddRowAndStats(t *testing.T) {
+	m, _ := FromData(2, 2, []float64{1, 2, 3, 4})
+	if err := m.AddRow([]float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != 24 {
+		t.Errorf("addrow gave %v", m.Data)
+	}
+	if m.Mean() != 17.5 { // (11+22+13+24)/4
+		t.Errorf("mean=%g want 17.5", m.Mean())
+	}
+	if v := m.Variance(); v <= 0 {
+		t.Errorf("variance should be positive, got %g", v)
+	}
+}

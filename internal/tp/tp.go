@@ -1,0 +1,204 @@
+// Package tp implements the tensor-parallelism extension sketched in the
+// paper's §7 "Search for Tensor Parallelization": devices along the
+// tensor-parallel dimension are viewed as ONE fused device with larger
+// memory and different kernel performance (TP introduces all-reduce
+// overhead), after which planning remains the same 1-D pipeline-partition
+// problem the assigner already solves. The search enumerates the possible
+// device meshes (TP degree per same-type node group, mirroring the 2×8 /
+// 4×4 / … mesh enumeration the paper describes) and runs the assigner on
+// each derived cluster.
+package tp
+
+import (
+	"fmt"
+
+	"repro/internal/assigner"
+	"repro/internal/hardware"
+)
+
+// Efficiency is the sustained-throughput multiplier per TP degree: the
+// all-reduce after every attention and MLP block erodes linear scaling.
+func Efficiency(degree int) float64 {
+	switch {
+	case degree <= 1:
+		return 1
+	case degree == 2:
+		return 0.92
+	case degree <= 4:
+		return 0.85
+	default:
+		return 0.78
+	}
+}
+
+// FuseGPU builds the fused device a TP group of `degree` GPUs presents to
+// the pipeline planner.
+func FuseGPU(g hardware.GPU, degree int) (hardware.GPU, error) {
+	if degree < 1 {
+		return hardware.GPU{}, fmt.Errorf("tp: degree must be ≥1, got %d", degree)
+	}
+	if degree == 1 {
+		return g, nil
+	}
+	eff := Efficiency(degree)
+	out := g
+	out.Name = fmt.Sprintf("%dx%s-tp", degree, g.Name)
+	out.MemoryGB = g.MemoryGB * float64(degree)
+	out.FP16TFLOPS = g.FP16TFLOPS * float64(degree) * eff
+	out.BandwidthGBs = g.BandwidthGBs * float64(degree) * eff
+	// Two all-reduces per decoder layer over NVLink: latency-dominated for
+	// decode-size messages; grows with group size.
+	out.LaunchOverheadUS = g.LaunchOverheadUS + 18*float64(degree-1)
+	out.ComputeEff = g.ComputeEff
+	out.MemEff = g.MemEff
+	return out, nil
+}
+
+// Mesh is one TP configuration: the degree chosen for each same-type node
+// group, plus the derived cluster the pipeline planner sees.
+type Mesh struct {
+	Degrees []int // one per device group, in group order
+	Cluster hardware.Cluster
+	Desc    string
+}
+
+// group is a maximal run of same-type devices on one node.
+type group struct {
+	gpu   hardware.GPU
+	node  int
+	count int
+}
+
+func groupsOf(c hardware.Cluster) []group {
+	var gs []group
+	for _, d := range c.Devices {
+		if len(gs) > 0 {
+			last := &gs[len(gs)-1]
+			if last.gpu.Name == d.GPU.Name && last.node == d.Node {
+				last.count++
+				continue
+			}
+		}
+		gs = append(gs, group{gpu: d.GPU, node: d.Node, count: 1})
+	}
+	return gs
+}
+
+// Meshes enumerates the TP configurations of a cluster: per same-type node
+// group, every degree dividing the group size (TP is intra-node, over
+// NVLink, as in the paper's testbed). The identity mesh (all degrees 1) is
+// always first.
+func Meshes(c hardware.Cluster) ([]Mesh, error) {
+	gs := groupsOf(c)
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("tp: empty cluster")
+	}
+	options := make([][]int, len(gs))
+	for i, g := range gs {
+		for d := 1; d <= g.count; d++ {
+			if g.count%d == 0 {
+				options[i] = append(options[i], d)
+			}
+		}
+	}
+	var out []Mesh
+	var rec func(i int, cur []int)
+	rec = func(i int, cur []int) {
+		if i == len(gs) {
+			m, err := buildMesh(c, gs, cur)
+			if err == nil {
+				out = append(out, m)
+			}
+			return
+		}
+		for _, d := range options[i] {
+			rec(i+1, append(cur, d))
+		}
+	}
+	rec(0, nil)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tp: no valid meshes")
+	}
+	return out, nil
+}
+
+func buildMesh(c hardware.Cluster, gs []group, degrees []int) (Mesh, error) {
+	m := Mesh{Degrees: append([]int(nil), degrees...)}
+	derived := hardware.Cluster{
+		Name:      c.Name + "+tp",
+		InterNode: c.InterNode,
+		ModelName: c.ModelName,
+	}
+	id := 0
+	desc := ""
+	for i, g := range gs {
+		d := degrees[i]
+		fused, err := FuseGPU(g.gpu, d)
+		if err != nil {
+			return Mesh{}, err
+		}
+		units := g.count / d
+		for u := 0; u < units; u++ {
+			derived.Devices = append(derived.Devices, hardware.Device{ID: id, GPU: fused, Node: g.node})
+			id++
+		}
+		if i > 0 {
+			desc += " + "
+		}
+		desc += fmt.Sprintf("%dx(%s)", units, fused.Name)
+	}
+	m.Cluster = derived
+	m.Desc = desc
+	return m, nil
+}
+
+// Result is the outcome of the TP-extended search.
+type Result struct {
+	Mesh   Mesh
+	Plan   *assigner.Plan
+	Eval   assigner.Evaluation
+	Tried  int // meshes attempted
+	Usable int // meshes that produced a feasible plan
+}
+
+// Optimize runs Algorithm 1 over every mesh of the spec's cluster and
+// returns the best plan across meshes — the §7 extension in full.
+func Optimize(s *assigner.Spec, timer assigner.LayerTimer) (*Result, error) {
+	meshes, err := Meshes(s.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	tried := 0
+	usable := 0
+	for _, m := range meshes {
+		tried++
+		sub := *s
+		sub.Cluster = m.Cluster
+		if sub.Cluster.NumDevices() > subLayerGroups(&sub) {
+			continue // more stages than layer groups: skip
+		}
+		res, err := assigner.Optimize(&sub, timer)
+		if err != nil {
+			continue // mesh infeasible (e.g. nothing fits): try the next
+		}
+		usable++
+		if best == nil || res.Eval.Objective < best.Eval.Objective {
+			best = &Result{Mesh: m, Plan: res.Plan, Eval: res.Eval}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("tp: no mesh admits a feasible plan for %s", s.Cfg.Name)
+	}
+	best.Tried = tried
+	best.Usable = usable
+	return best, nil
+}
+
+func subLayerGroups(s *assigner.Spec) int {
+	g := s.Group
+	if g <= 1 {
+		g = 1
+	}
+	return (s.Cfg.Layers + g - 1) / g
+}

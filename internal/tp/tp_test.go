@@ -1,0 +1,146 @@
+package tp
+
+import (
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+)
+
+func TestFuseGPU(t *testing.T) {
+	fused, err := FuseGPU(hardware.V100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.MemoryGB != hardware.V100.MemoryGB*4 {
+		t.Errorf("memory %.0f, want 4x", fused.MemoryGB)
+	}
+	// Sub-linear compute scaling.
+	if fused.FP16TFLOPS >= hardware.V100.FP16TFLOPS*4 {
+		t.Error("TP compute should scale sub-linearly")
+	}
+	if fused.FP16TFLOPS <= hardware.V100.FP16TFLOPS*2 {
+		t.Error("TP-4 should still be much faster than one device")
+	}
+	if fused.LaunchOverheadUS <= hardware.V100.LaunchOverheadUS {
+		t.Error("TP must add all-reduce overhead")
+	}
+	ident, err := FuseGPU(hardware.V100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.Name != hardware.V100.Name {
+		t.Error("degree 1 must be identity")
+	}
+	if _, err := FuseGPU(hardware.V100, 0); err == nil {
+		t.Error("expected degree error")
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	prev := 1.1
+	for _, d := range []int{1, 2, 4, 8} {
+		e := Efficiency(d)
+		if e > prev {
+			t.Errorf("efficiency should not grow with degree: %d → %.2f", d, e)
+		}
+		if e <= 0.5 || e > 1 {
+			t.Errorf("efficiency %.2f out of band at degree %d", e, d)
+		}
+		prev = e
+	}
+}
+
+func TestMeshesEnumeration(t *testing.T) {
+	// Cluster 10: 4xV100 on one node → degrees {1,2,4} → 3 meshes.
+	c10, _ := hardware.ClusterByID(10)
+	ms, err := Meshes(c10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("%d meshes for 4xV100, want 3 (TP 1/2/4)", len(ms))
+	}
+	// Identity first.
+	if ms[0].Degrees[0] != 1 || ms[0].Cluster.NumDevices() != 4 {
+		t.Errorf("first mesh should be identity: %+v", ms[0])
+	}
+	// TP-4 collapses to one fused device.
+	last := ms[len(ms)-1]
+	if last.Cluster.NumDevices() != 1 {
+		t.Errorf("TP-4 mesh should have 1 device, got %d", last.Cluster.NumDevices())
+	}
+	// Cluster 3: groups 3xT4 (degrees 1,3) and 1xV100 (degree 1) → 2.
+	c3, _ := hardware.ClusterByID(3)
+	ms3, err := Meshes(c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms3) != 2 {
+		t.Errorf("%d meshes for cluster 3, want 2", len(ms3))
+	}
+}
+
+func tpSpec(cl hardware.Cluster, cfg model.Config) *assigner.Spec {
+	return &assigner.Spec{
+		Cfg: cfg, Cluster: cl,
+		Work:                assigner.Workload{GlobalBatch: 32, Prompt: 512, Generate: 100},
+		Bits:                []int{3, 4, 8, 16},
+		Omega:               indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 42),
+		Theta:               1,
+		Method:              assigner.MethodDP,
+		PrefillMicroBatches: []int{1, 4},
+	}
+}
+
+func TestOptimizeNeverWorseThanPipelineOnly(t *testing.T) {
+	// The identity mesh is in the search space, so TP search can only
+	// match or improve the plain assigner.
+	c10, _ := hardware.ClusterByID(10)
+	cfg, _ := model.ByName("opt-66b")
+	s := tpSpec(c10, cfg)
+	base, err := assigner.Optimize(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(tpSpec(c10, cfg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eval.Objective > base.Eval.Objective*1.0001 {
+		t.Errorf("TP search objective %.4f worse than pipeline-only %.4f", res.Eval.Objective, base.Eval.Objective)
+	}
+	if res.Tried != 3 {
+		t.Errorf("tried %d meshes, want 3", res.Tried)
+	}
+}
+
+func TestTPWinsWhenPipelineTooDeep(t *testing.T) {
+	// 8 identical devices serving a 12-layer model: a depth-8 pipeline has
+	// tiny stages dominated by per-hop communication; fusing into TP
+	// groups should win.
+	small := model.Config{Name: "tp-test", Family: model.OPT, Hidden: 4096, FFN: 16384,
+		Layers: 12, Heads: 32, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true}
+	cl, err := hardware.NewCluster([]string{"V100"}, []int{8}, hardware.Eth100Gbps, "tp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(tpSpec(cl, small), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mesh.Degrees[0] == 1 {
+		t.Errorf("expected TP degree >1 for a too-deep pipeline, got mesh %v (%s)", res.Mesh.Degrees, res.Mesh.Desc)
+	}
+	if res.Usable < 2 {
+		t.Errorf("expected ≥2 usable meshes, got %d", res.Usable)
+	}
+}
+
+func TestMeshesErrors(t *testing.T) {
+	if _, err := Meshes(hardware.Cluster{}); err == nil {
+		t.Error("expected empty-cluster error")
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewOfflineValidation(t *testing.T) {
+	if _, err := NewOffline(0, 512, 100); err == nil {
+		t.Error("expected batch error")
+	}
+	w, err := NewOffline(32, 512, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalTokens() != 3200 {
+		t.Errorf("total tokens %d", w.TotalTokens())
+	}
+}
+
+func TestPromptsShapeAndDeterminism(t *testing.T) {
+	w, _ := NewOffline(4, 16, 10)
+	a, err := w.Prompts(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Prompts(100, 7)
+	if len(a) != 4 {
+		t.Fatalf("%d prompts", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 16 {
+			t.Fatalf("prompt %d length %d", i, len(a[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("prompts not reproducible")
+			}
+			if a[i][j] < 0 || a[i][j] >= 100 {
+				t.Fatalf("token %d out of vocab", a[i][j])
+			}
+		}
+	}
+	if _, err := w.Prompts(1, 7); err == nil {
+		t.Error("expected vocab error")
+	}
+}
+
+func TestShareGPTDistributionShape(t *testing.T) {
+	// §2.1: prompt lengths vary substantially, with a large share of short
+	// (<128) prompts and a heavy tail.
+	lengths := ShareGPTLengths(10000, 2048, 1)
+	st, err := Summarize(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShortShare < 0.35 || st.ShortShare > 0.8 {
+		t.Errorf("short-prompt share %.2f outside the ShareGPT-like band", st.ShortShare)
+	}
+	if st.P99 < 4*st.P50 {
+		t.Errorf("tail too light: p50=%d p99=%d", st.P50, st.P99)
+	}
+	if st.P90 <= st.P50 || st.P99 <= st.P90 {
+		t.Errorf("quantiles not ordered: %+v", st)
+	}
+	for _, l := range lengths {
+		if l < 1 || l > 2048 {
+			t.Fatalf("length %d out of range", l)
+		}
+	}
+}
+
+func TestShareGPTDeterministic(t *testing.T) {
+	a := ShareGPTLengths(100, 2048, 3)
+	b := ShareGPTLengths(100, 2048, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not reproducible")
+		}
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("expected empty error")
+	}
+	err := quick.Check(func(seed int64) bool {
+		ls := ShareGPTLengths(200, 1024, seed)
+		st, err := Summarize(ls)
+		if err != nil {
+			return false
+		}
+		return st.Mean >= 1 && st.P50 <= st.P90 && st.P90 <= st.P99
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
