@@ -1,0 +1,26 @@
+GO ?= go
+
+# Tier-1 verify: build, stock vet, the domain lint suite, tests.
+.PHONY: verify
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) run ./cmd/llmpq-vet ./...
+	$(GO) test ./...
+
+# Race lane: the pipeline engine, online admission, and simulated clock run
+# under the race detector (documented in README "Correctness tooling").
+.PHONY: verify-race
+verify-race:
+	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/...
+
+# Fuzz smoke: ~30 s across the two quantizer fuzz lanes (Theorem 1 error
+# envelope + group-wise packing invariants).
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
+	$(GO) test -run='^$$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
+
+# Everything CI runs.
+.PHONY: verify-all
+verify-all: verify verify-race fuzz-smoke

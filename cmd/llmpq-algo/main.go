@@ -81,6 +81,8 @@ func main() {
 	fmt.Print(p.Describe(spec, &res.Eval))
 	if ppl, err := core.PredictPPL(spec, p); err == nil {
 		fmt.Printf("predicted PPL %.2f\n", ppl)
+	} else {
+		fmt.Fprintf(os.Stderr, "llmpq-algo: PPL prediction unavailable: %v\n", err)
 	}
 	if err := core.SaveStrategy(*out, core.Strategy{Request: req, Plan: p}); err != nil {
 		fatalf("write %s: %v", *out, err)

@@ -47,7 +47,9 @@ func cmdTrain(args []string) {
 	lr := fs.Float64("lr", 3e-3, "learning rate")
 	seed := fs.Int64("seed", 42, "model + corpus seed")
 	out := fs.String("o", "model.ckpt", "checkpoint output")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatalf("parse flags: %v", err)
+	}
 
 	m, err := nn.New(refCfg, *seed)
 	if err != nil {
@@ -93,14 +95,19 @@ func cmdEval(args []string) {
 	scheme := fs.String("scheme", "per-tensor", "per-tensor | per-channel | group-wise")
 	group := fs.Int("group", 16, "group size for group-wise")
 	seed := fs.Int64("seed", 42, "evaluation corpus seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatalf("parse flags: %v", err)
+	}
 
 	m, err := nn.Load(*path)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	sc, ok := map[string]quant.Scheme{"per-tensor": quant.PerTensor, "per-channel": quant.PerChannel, "group-wise": quant.GroupWise}[*scheme]
+	if !ok {
+		fatalf("unknown scheme %q (per-tensor|per-channel|group-wise)", *scheme)
+	}
 	if *bits != 16 {
-		sc := map[string]quant.Scheme{"per-tensor": quant.PerTensor, "per-channel": quant.PerChannel, "group-wise": quant.GroupWise}[*scheme]
 		for i := range m.Layers {
 			if err := m.SetLayerScheme(i, *bits, sc, *group, quant.Deterministic, nil); err != nil {
 				fatalf("%v", err)
@@ -124,7 +131,9 @@ func cmdGenerate(args []string) {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	path := fs.String("model", "model.ckpt", "checkpoint")
 	n := fs.Int("n", 24, "tokens to generate")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatalf("parse flags: %v", err)
+	}
 
 	m, err := nn.Load(*path)
 	if err != nil {

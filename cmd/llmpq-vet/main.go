@@ -1,0 +1,146 @@
+// Command llmpq-vet runs LLM-PQ's domain-aware static-analysis suite
+// (internal/analysis) over the module: bitwidth-set membership, unit-suffix
+// arithmetic, rand seeding discipline, float equality, and pipeline
+// concurrency rules. It type-checks every package from source with no
+// dependencies beyond the standard library.
+//
+//	llmpq-vet ./...                 # whole module (CI gate)
+//	llmpq-vet -json ./internal/...  # machine-readable findings
+//	llmpq-vet -unitmix=false ./...  # disable one analyzer
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error. A finding is
+// suppressed by a trailing or preceding comment
+// `//llmpq:ignore <analyzer>[,<analyzer>] <justification>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llmpq-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analysis.Analyzers() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "llmpq-vet: %v\n", err)
+		return 2
+	}
+	modRoot, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "llmpq-vet: %v\n", err)
+		return 2
+	}
+	dirs, err := resolvePatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "llmpq-vet: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader(modRoot, modPath)
+	var diags []analysis.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "llmpq-vet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, analysis.RunPackage(pkg, active)...)
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "llmpq-vet: encode: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "llmpq-vet: %d finding(s) across %d package(s)\n", len(diags), len(dirs))
+		}
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns expands "./..."-style patterns and plain directories into
+// the list of package directories to analyze.
+func resolvePatterns(cwd string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rest == "" {
+				rest = "."
+			}
+			root := rest
+			if !filepath.IsAbs(root) {
+				root = filepath.Join(cwd, root)
+			}
+			sub, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,180 @@
+// Package analysis is LLM-PQ's domain-aware static-analysis suite: a small
+// go/ast + go/types framework (stdlib only, mirroring the shape of
+// golang.org/x/tools/go/analysis without the dependency) plus the analyzers
+// that guard the planner's invariants — bitwidths stay in the paper's
+// {3,4,8,16} set, cost-model arithmetic never mixes units, plans stay
+// deterministic, float comparisons go through epsilon helpers, and the
+// pipeline runtime's concurrency follows the join discipline DESIGN.md
+// documents. The cmd/llmpq-vet driver runs every analyzer over the module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, pinned to a source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{BitwidthSet, UnitMix, SeededRand, FloatEq, CtxLock}
+}
+
+// ByName resolves an analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// IgnoreDirective is the comment that suppresses a finding on its own line
+// or the line directly below: //llmpq:ignore <analyzer>[,<analyzer>...]
+// (or bare //llmpq:ignore to suppress every analyzer).
+const IgnoreDirective = "llmpq:ignore"
+
+// ignoreSet maps file → line → analyzer names suppressed there ("" = all).
+type ignoreSet map[string]map[int]map[string]bool
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	ig := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				// Only the first whitespace-delimited token is the analyzer
+				// list; anything after it is the human justification.
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					rest = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				m := ig[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					ig[pos.Filename] = m
+				}
+				names := map[string]bool{}
+				if rest == "" {
+					names[""] = true
+				} else {
+					for _, n := range strings.Split(rest, ",") {
+						names[strings.TrimSpace(n)] = true
+					}
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment-above style).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = map[string]bool{}
+					}
+					for n := range names {
+						m[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	m, ok := ig[d.File]
+	if !ok {
+		return false
+	}
+	names, ok := m[d.Line]
+	if !ok {
+		return false
+	}
+	return names[""] || names[d.Analyzer]
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving diagnostics (suppression directives applied), sorted by
+// position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	ig := collectIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

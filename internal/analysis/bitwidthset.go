@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// BitwidthSet flags integer constants flowing into bitwidth-named
+// parameters, struct fields, or variables when they fall outside the
+// paper's supported set {3,4,8,16} (§4: the adaptive-quantization search
+// space). 0 is accepted everywhere as the "unset / default FP16" sentinel,
+// and 2 is additionally accepted for KV-cache precisions (INT2 KV is a §7
+// extension candidate).
+var BitwidthSet = &Analyzer{
+	Name: "bitwidthset",
+	Doc:  "integer constants assigned to bitwidth-typed parameters/fields must stay in {3,4,8,16} (0 sentinel; 2 for KV)",
+	Run:  runBitwidthSet,
+}
+
+// isBitwidthName reports whether an identifier denotes a bitwidth. The
+// "bit" substring catches Bits, KVBits, LayerBits, bitwidth, wbits...
+func isBitwidthName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "bit")
+}
+
+func isKVName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "kv")
+}
+
+func allowedBitwidth(v int64, kv bool) bool {
+	switch v {
+	case 0, 3, 4, 8, 16:
+		return true
+	case 2:
+		return kv
+	}
+	return false
+}
+
+func runBitwidthSet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkBitwidthCall(n)
+			case *ast.CompositeLit:
+				p.checkBitwidthComposite(n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // multi-value RHS: nothing constant to check
+					}
+					if name, ok := bitwidthTarget(lhs); ok {
+						p.checkBitwidthValue(n.Rhs[i], name)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if isBitwidthName(id.Name) && i < len(n.Values) {
+						p.checkBitwidthValue(n.Values[i], id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bitwidthTarget extracts the identifier name of an assignable bitwidth
+// destination (x, s.KVBits, bits[i]).
+func bitwidthTarget(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if isBitwidthName(e.Name) {
+			return e.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isBitwidthName(e.Sel.Name) {
+			return e.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		return bitwidthTarget(e.X)
+	}
+	return "", false
+}
+
+// checkBitwidthValue validates a constant (or []int literal) flowing into
+// the named bitwidth destination.
+func (p *Pass) checkBitwidthValue(e ast.Expr, name string) {
+	kv := isKVName(name)
+	if lit, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		for _, el := range lit.Elts {
+			if v, ok := constInt(p.Info, el); ok && !allowedBitwidth(v, kv) {
+				p.Reportf(el.Pos(), "bitwidth %d in %s outside supported set {3,4,8,16} (paper §4)", v, name)
+			}
+		}
+		return
+	}
+	if v, ok := constInt(p.Info, e); ok && !allowedBitwidth(v, kv) {
+		extra := ""
+		if kv {
+			extra = " ∪ {2}"
+		}
+		p.Reportf(e.Pos(), "bitwidth %d assigned to %s outside supported set {3,4,8,16}%s (paper §4)", v, name, extra)
+	}
+}
+
+func (p *Pass) checkBitwidthCall(call *ast.CallExpr) {
+	sig := callSignature(p.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if pi >= params.Len() {
+			if !sig.Variadic() {
+				break
+			}
+			pi = params.Len() - 1
+		}
+		if pi < 0 {
+			break
+		}
+		param := params.At(pi)
+		if !isBitwidthName(param.Name()) {
+			continue
+		}
+		p.checkBitwidthValue(arg, param.Name())
+	}
+}
+
+func (p *Pass) checkBitwidthComposite(lit *ast.CompositeLit) {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !isBitwidthName(key.Name) {
+				continue
+			}
+			p.checkBitwidthValue(kv.Value, key.Name)
+			continue
+		}
+		// Positional literal: map index to field.
+		if i < st.NumFields() && isBitwidthName(st.Field(i).Name()) {
+			p.checkBitwidthValue(el, st.Field(i).Name())
+		}
+	}
+}
+
+// constInt evaluates e to an integer constant if possible.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// callSignature resolves the *types.Signature of a call's callee, or nil
+// for conversions and unresolvable callees.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestBitwidthSet(t *testing.T) {
+	runFixture(t, BitwidthSet, "bitwidthset", "repro/internal/fixture")
+}
+
+func TestAllowedBitwidth(t *testing.T) {
+	cases := []struct {
+		v    int64
+		kv   bool
+		want bool
+	}{
+		{3, false, true}, {4, false, true}, {8, false, true}, {16, false, true},
+		{0, false, true},  // unset sentinel
+		{2, false, false}, // INT2 weights are out
+		{2, true, true},   // ... but legal for KV cache
+		{5, false, false}, {32, false, false}, {-4, true, false},
+	}
+	for _, c := range cases {
+		if got := allowedBitwidth(c.v, c.kv); got != c.want {
+			t.Errorf("allowedBitwidth(%d, kv=%v) = %v, want %v", c.v, c.kv, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxLock polices the concurrency discipline of the pipeline engine:
+//
+//  1. no sync primitive (Mutex, RWMutex, WaitGroup, Once, Cond) is ever
+//     copied by value — parameters, value receivers, and plain assignments;
+//  2. inside internal/runtime and internal/online, every `go` statement
+//     must have a join: the goroutine body references a WaitGroup or
+//     performs channel communication (send/receive/close/range);
+//  3. inside internal/runtime and internal/online, time.Sleep is banned
+//     from hot paths — the simulated clock (internal/simclock) or channel
+//     coordination is the only legal way to wait.
+var CtxLock = &Analyzer{
+	Name: "ctxlock",
+	Doc:  "no sync-primitive copies; goroutines in runtime/online need a WaitGroup/channel join; no time.Sleep in pipeline hot paths",
+	Run:  runCtxLock,
+}
+
+// pipelinePackage reports whether path is one of the hot-path packages the
+// goroutine-join and Sleep rules apply to.
+func pipelinePackage(path string) bool {
+	return strings.Contains(path, "internal/runtime") || strings.Contains(path, "internal/online")
+}
+
+// lockKind names the sync primitive embedded in t, or "".
+func lockKind(t types.Type) string {
+	return lockKindSeen(t, map[types.Type]bool{})
+}
+
+func lockKindSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if k := lockKindSeen(u.Field(i).Type(), seen); k != "" {
+				return k
+			}
+		}
+	case *types.Array:
+		return lockKindSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runCtxLock(p *Pass) {
+	hotPath := pipelinePackage(p.Pkg.Path())
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				p.checkLockSignature(n.Type, n.Recv)
+			case *ast.FuncLit:
+				p.checkLockSignature(n.Type, nil)
+			case *ast.AssignStmt:
+				p.checkLockCopy(n)
+			case *ast.GoStmt:
+				if hotPath {
+					p.checkGoJoin(n)
+				}
+			case *ast.CallExpr:
+				if hotPath {
+					if name, ok := isPkgFunc(p.Info, n.Fun, "time"); ok && name == "Sleep" {
+						p.Reportf(n.Pos(), "time.Sleep in a pipeline hot path; use internal/simclock or channel coordination")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockSignature flags by-value sync primitives in params, results,
+// and receivers.
+func (p *Pass) checkLockSignature(ft *ast.FuncType, recv *ast.FieldList) {
+	flag := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if k := lockKind(tv.Type); k != "" {
+				p.Reportf(field.Type.Pos(), "%s passes %s by value; pass a pointer so the lock state is shared", role, k)
+			}
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// checkLockCopy flags `a = b` / `a := b` where b is an existing value
+// containing a sync primitive (composite literals and zero values are
+// fine: they create a fresh, unused lock).
+func (p *Pass) checkLockCopy(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // fresh value (literal, call, &x, ...)
+		}
+		tv, ok := p.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if k := lockKind(tv.Type); k != "" {
+			p.Reportf(rhs.Pos(), "assignment copies %s; share it through a pointer instead", k)
+		}
+	}
+}
+
+// checkGoJoin requires every goroutine in a pipeline package to be
+// joinable: its body (for func literals) or its enclosing usage must touch
+// a WaitGroup or a channel.
+func (p *Pass) checkGoJoin(g *ast.GoStmt) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if bodyHasJoin(p.Info, lit.Body) {
+			return
+		}
+		p.Reportf(g.Pos(), "goroutine has no join: body touches no WaitGroup and no channel; it can outlive the pipeline")
+		return
+	}
+	// Named function launched directly: require at least a channel or
+	// WaitGroup among the call's arguments.
+	for _, arg := range g.Call.Args {
+		if tv, ok := p.Info.Types[arg]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return
+			}
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if lockKind(t) == "sync.WaitGroup" {
+				return
+			}
+		}
+	}
+	p.Reportf(g.Pos(), "goroutine call passes no channel or WaitGroup; the pipeline cannot join it")
+}
+
+// bodyHasJoin reports whether a goroutine body communicates: WaitGroup
+// method call, channel send/close, channel receive, or range over a
+// channel.
+func bodyHasJoin(info *types.Info, body *ast.BlockStmt) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					joined = true
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[fun]; ok {
+					recv := sel.Recv()
+					if ptr, ok := recv.(*types.Pointer); ok {
+						recv = ptr.Elem()
+					}
+					if lockKind(recv) == "sync.WaitGroup" {
+						joined = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestCtxLockInPipelinePackage(t *testing.T) {
+	// The fixture pretends to live in internal/runtime so the
+	// goroutine-join and time.Sleep rules apply.
+	runFixture(t, CtxLock, "ctxlock", "repro/internal/runtime/fixture")
+}
+
+func TestCtxLockOutsidePipelinePackage(t *testing.T) {
+	// Same analyzer, neutral package path: join/Sleep rules are scoped to
+	// the pipeline packages, so the fixture must be clean.
+	runFixture(t, CtxLock, "ctxlock_other", "repro/internal/experiments/fixture")
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code: cost-model outputs are sums of many rounded terms, so exact
+// equality is load-bearing fragility. Use the epsilon helpers in
+// repro/internal/core/floats instead. Two idioms stay legal: comparison
+// against an exact constant zero (the codebase's "unset field" sentinel)
+// and self-comparison (`x != x` NaN probe), plus comparison against
+// math.Inf which is exact by construction.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on float operands (use internal/core/floats epsilon helpers); zero-sentinel and NaN-probe idioms allowed",
+	Run:  runFloatEq,
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactFloatOperand reports operands whose comparison is exact: the
+// constant 0 sentinel, any compile-time constant ±Inf, or a math.Inf call.
+func isExactFloatOperand(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if constant.Sign(tv.Value) == 0 {
+			return true
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if name, ok := isPkgFunc(info, call.Fun, "math"); ok && (name == "Inf" || name == "NaN") {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info, be.X) || !isFloat(p.Info, be.Y) {
+				return true
+			}
+			if isExactFloatOperand(p.Info, be.X) || isExactFloatOperand(p.Info, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x NaN probe
+			}
+			p.Reportf(be.OpPos, "float %s comparison is not robust; use floats.AlmostEqual / floats.EqTol (repro/internal/core/floats)", be.Op)
+			return true
+		})
+	}
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple chains (idents/selectors), enough for the NaN self-compare idiom.
+func sameExpr(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bi, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameExpr(a.X, bs.X)
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeededRand keeps plans reproducible: the paper's planner must emit
+// bit-for-bit identical strategies for identical inputs, so non-test code
+// may only draw randomness from an explicitly seeded *rand.Rand. The
+// analyzer forbids (a) math/rand (and v2) package-level functions, which
+// use the globally shared, nondeterministically seeded source, and (b)
+// seeding a source from wall-clock time or crypto/rand.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand top-level functions and time/crypto-seeded sources in non-test code",
+	Run:  runSeededRand,
+}
+
+// randConstructors are the package-level math/rand functions that are fine
+// to call (they build explicit sources); everything else package-level
+// draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func isPkgFunc(info *types.Info, e ast.Expr, pkgPath string) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := isPkgFunc(p.Info, call.Fun, randPkg)
+				if !ok {
+					continue
+				}
+				if !randConstructors[name] {
+					p.Reportf(call.Pos(), "rand.%s uses the shared global source; plans must be reproducible — use a seeded rand.New(rand.NewSource(seed))", name)
+					return true
+				}
+				// Constructor: the seed expression must be deterministic.
+				for _, arg := range call.Args {
+					if culprit := nondeterministicSeed(p.Info, arg); culprit != "" {
+						p.Reportf(arg.Pos(), "rand.%s seeded from %s is nondeterministic; derive the seed from the request/spec instead", name, culprit)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// nondeterministicSeed scans a seed expression for wall-clock or crypto
+// entropy and names the culprit, or returns "".
+func nondeterministicSeed(info *types.Info, e ast.Expr) string {
+	var culprit string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if culprit != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch {
+		case obj.Pkg().Path() == "time" && (obj.Name() == "Now" || obj.Name() == "Since"):
+			culprit = "time." + obj.Name()
+		case obj.Pkg().Path() == "crypto/rand":
+			culprit = "crypto/rand." + obj.Name()
+		case obj.Pkg().Path() == "os" && strings.HasPrefix(obj.Name(), "Getpid"):
+			culprit = "os." + obj.Name()
+		}
+		return true
+	})
+	return culprit
+}

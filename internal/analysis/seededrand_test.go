@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSeededRand(t *testing.T) {
+	runFixture(t, SeededRand, "seededrand", "repro/internal/fixture")
+}

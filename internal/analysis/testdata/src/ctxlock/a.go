@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(s shard) int { // want "parameter passes sync.Mutex by value"
+	return s.n
+}
+
+func (s shard) get() int { // want "receiver passes sync.Mutex by value"
+	return s.n
+}
+
+func copyShard(a *shard) int {
+	b := *a // want "assignment copies sync.Mutex"
+	return b.n
+}
+
+func pipeline(done chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // joined through the WaitGroup
+		defer wg.Done()
+	}()
+	go func() { // joined through the channel
+		done <- 1
+	}()
+	go func() { // want "goroutine has no join"
+		_ = time.Now()
+	}()
+	wg.Wait()
+	time.Sleep(time.Millisecond) // want "time.Sleep in a pipeline hot path"
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "time"
+
+// Outside internal/runtime and internal/online the goroutine-join and
+// time.Sleep rules do not apply; nothing here should be flagged.
+func backgroundWork() {
+	go func() {
+		_ = time.Now()
+	}()
+	time.Sleep(time.Nanosecond)
+}

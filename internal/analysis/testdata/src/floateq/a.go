@@ -1,0 +1,20 @@
+package fixture
+
+import "math"
+
+func compare(a, b float64) bool {
+	if a == 0 { // zero-sentinel checks are exact by construction
+		return false
+	}
+	if a != a { // NaN probe
+		return true
+	}
+	if a == math.Inf(1) { // infinities are exact
+		return false
+	}
+	eq := a == b    // want "float == comparison"
+	ne := a != 3.14 // want "float != comparison"
+	var f32 float32
+	odd := f32 == 1.5 // want "float == comparison"
+	return eq || ne || odd
+}

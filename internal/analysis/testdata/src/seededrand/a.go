@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draw(seed int64) int {
+	n := rand.Intn(10) // want "shared global source"
+	rng := rand.New(rand.NewSource(seed))
+	n += rng.Intn(10)                            // methods on a seeded *rand.Rand are fine
+	src := rand.NewSource(time.Now().UnixNano()) // want "time.Now"
+	n += rand.New(src).Intn(10)
+	rand.Shuffle(2, func(i, j int) {}) // want "shared global source"
+	n += rand.Intn(2)                  //llmpq:ignore seededrand demo of a justified suppression
+	return n
+}

@@ -1,0 +1,25 @@
+package fixture
+
+func gibToBytes(gib float64) float64 { return gib * (1 << 30) }
+
+func cost() float64 {
+	var shardBytes float64 = 1024
+	var memGiB float64 = 2
+	var latencySec float64 = 0.5
+	var decodeMs float64 = 7
+	var totalTokens float64 = 64
+	var tokPerSec float64 = 100
+
+	ok1 := shardBytes + gibToBytes(memGiB) // conversion helper names the unit
+	bad1 := shardBytes + memGiB            // want "mixes bytes and GiB"
+	bad2 := latencySec - decodeMs          // want "mixes sec and ms"
+	cmp := latencySec < decodeMs           // want "mixes sec and ms"
+	ok2 := latencySec * tokPerSec          // products form conversions/rates
+	bad3 := tokPerSec + latencySec         // want "mixes per-sec and sec"
+	ok3 := totalTokens + 3                 // bare literals carry no unit
+	shardBytes += memGiB                   // want "mixes bytes and GiB"
+	if cmp {
+		return ok1 + ok2 + ok3
+	}
+	return bad1 + bad2 + bad3 + shardBytes
+}

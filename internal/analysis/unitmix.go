@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitMix flags additive arithmetic and comparisons between numeric
+// expressions whose names carry incompatible unit suffixes — the classic
+// cost-model bug class where bytes meet GiB or seconds meet milliseconds
+// without a conversion. Units are inferred from identifier suffixes
+// (LatencySec, shardBytes, memGB, TokPerSec, ...); a call to a helper whose
+// name carries the target suffix (e.g. GiBToBytes) counts as an explicit
+// conversion. Multiplication and division are exempt: they are how
+// conversions and rates are formed.
+var UnitMix = &Analyzer{
+	Name: "unitmix",
+	Doc:  "additive arithmetic/comparisons must not mix unit-suffixed quantities (Bytes vs GiB, Sec vs Ms, ...)",
+	Run:  runUnitMix,
+}
+
+// unitSuffixes maps a name suffix to its canonical unit, longest first so
+// "Millis" wins over "Ms"-style overlaps.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"Seconds", "sec"},
+	{"Millis", "ms"},
+	{"Bytes", "bytes"},
+	{"Tokens", "tokens"},
+	{"Toks", "tokens"},
+	{"Secs", "sec"},
+	{"GiB", "GiB"},
+	{"Sec", "sec"},
+	{"GB", "GB"},
+	{"MB", "MB"},
+	{"KB", "KB"},
+	{"Ms", "ms"},
+	{"Ns", "ns"},
+	{"Us", "us"},
+}
+
+// unitOfName returns the canonical unit carried by an identifier, or "".
+// Rate names (TokPerSec, BytesPerMs) form their own unit class "per-X" so
+// a rate never silently adds to a plain duration.
+func unitOfName(name string) string {
+	for _, s := range unitSuffixes {
+		if len(name) <= len(s.suffix) || !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		// The character before the suffix must not be lowercase when the
+		// suffix starts uppercase... suffixes here are all capitalized, so
+		// any match on a camelCase boundary is intentional enough; but
+		// reject e.g. "Tombs" matching nothing — HasSuffix already exact.
+		if strings.Contains(name[:len(name)-len(s.suffix)], "Per") ||
+			strings.HasSuffix(name[:len(name)-len(s.suffix)], "per") {
+			return "per-" + s.unit
+		}
+		return s.unit
+	}
+	return ""
+}
+
+// unitOf infers the unit of an expression from the identifiers that
+// produce it.
+func unitOf(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.CallExpr:
+		// A helper named for its result unit is an explicit conversion.
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return unitOfName(fun.Name)
+		case *ast.SelectorExpr:
+			return unitOfName(fun.Sel.Name)
+		}
+		return ""
+	case *ast.IndexExpr:
+		return unitOf(info, e.X)
+	case *ast.ParenExpr:
+		return unitOf(info, e.X)
+	case *ast.UnaryExpr:
+		return unitOf(info, e.X)
+	case *ast.BinaryExpr:
+		// Same-unit sums propagate their unit; anything else is opaque
+		// (products/quotients are conversions).
+		if e.Op == token.ADD || e.Op == token.SUB {
+			a, b := unitOf(info, e.X), unitOf(info, e.Y)
+			if a == b {
+				return a
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+func isNumeric(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func runUnitMix(p *Pass) {
+	check := func(pos token.Pos, op token.Token, x, y ast.Expr) {
+		switch op {
+		case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ,
+			token.ADD_ASSIGN, token.SUB_ASSIGN:
+		default:
+			return
+		}
+		if !isNumeric(p.Info, x) || !isNumeric(p.Info, y) {
+			return
+		}
+		ux, uy := unitOf(p.Info, x), unitOf(p.Info, y)
+		if ux == "" || uy == "" || ux == uy {
+			return
+		}
+		p.Reportf(pos, "mixes %s and %s in %q without an explicit conversion helper", ux, uy, op.String())
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				check(n.OpPos, n.Op, n.X, n.Y)
+			case *ast.AssignStmt:
+				if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					check(n.TokPos, n.Tok, n.Lhs[0], n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+func TestUnitMix(t *testing.T) {
+	runFixture(t, UnitMix, "unitmix", "repro/internal/fixture")
+}
+
+func TestUnitOfName(t *testing.T) {
+	cases := map[string]string{
+		"LatencySec":      "sec",
+		"PrefillMB":       "MB",
+		"shardBytes":      "bytes",
+		"memGiB":          "GiB",
+		"StageMemGB":      "GB",
+		"decodeMs":        "ms",
+		"TotalTokens":     "tokens",
+		"TokPerSec":       "per-sec",
+		"tokensPerSec":    "per-sec",
+		"RecoverySeconds": "sec",
+		"Describe":        "",
+		"plan":            "",
+		"Ms":              "", // a bare suffix is not a measurement name
+	}
+	for name, want := range cases {
+		if got := unitOfName(name); got != want {
+			t.Errorf("unitOfName(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -187,8 +187,11 @@ func upgradedSet(s *Spec, pi int, bt *benefitTable, lo, k, cntB int) ([]int, err
 		arr = append(arr, lb{l, wa - wb})
 	}
 	sort.Slice(arr, func(i, j int) bool {
-		if arr[i].ben != arr[j].ben {
-			return arr[i].ben > arr[j].ben
+		if arr[i].ben > arr[j].ben {
+			return true
+		}
+		if arr[i].ben < arr[j].ben {
+			return false
 		}
 		return arr[i].idx < arr[j].idx
 	})

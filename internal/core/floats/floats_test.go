@@ -1,0 +1,42 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqTol(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative regime
+		{0, 1e-12, 1e-9, true},                 // absolute regime near zero
+		{0, 1e-6, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := EqTol(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqTol(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualAndZero(t *testing.T) {
+	if !AlmostEqual(0.1+0.2, 0.3) {
+		t.Error("AlmostEqual should absorb float rounding")
+	}
+	if AlmostEqual(0.3, 0.300001) {
+		t.Error("AlmostEqual too loose")
+	}
+	if !Zero(1e-12, 1e-9) || Zero(1e-3, 1e-9) {
+		t.Error("Zero tolerance misbehaves")
+	}
+}

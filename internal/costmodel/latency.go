@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/floats"
 	"repro/internal/hardware"
 	"repro/internal/model"
 	"repro/internal/profiler"
@@ -116,7 +117,7 @@ func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
 				piv = r
 			}
 		}
-		if math.Abs(m[piv][col]) < 1e-14 {
+		if floats.Zero(m[piv][col], 1e-14) {
 			return [3]float64{}, fmt.Errorf("singular normal equations")
 		}
 		m[col], m[piv] = m[piv], m[col]

@@ -79,16 +79,14 @@ func Load(r Resources, shardBytes, chunkBytes float64) (Plan, error) {
 	}
 	n := int(math.Ceil(shardBytes / chunkBytes))
 	read, cp, q := r.stageTimes(chunkBytes)
-	bottleneck := math.Max(read, math.Max(cp, q))
-	name := "disk"
-	switch bottleneck {
-	case cp:
-		name = "pcie"
-	case q:
-		name = "quant"
+	// Pick the slowest stage; on exact ties disk wins over pcie over quant,
+	// matching the overlap model's priority.
+	bottleneck, name := read, "disk"
+	if cp > bottleneck {
+		bottleneck, name = cp, "pcie"
 	}
-	if bottleneck == read {
-		name = "disk"
+	if q > bottleneck {
+		bottleneck, name = q, "quant"
 	}
 	total := read + cp + q + float64(n-1)*bottleneck
 	return Plan{

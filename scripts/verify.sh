@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full correctness gate: tier-1 verify, the llmpq-vet lint suite, the race
+# lane, and a ~30 s fuzz smoke over the quantizer. Mirrors `make verify-all`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+echo "== go vet =="
+go vet ./...
+echo "== llmpq-vet (domain analyzers) =="
+go run ./cmd/llmpq-vet ./...
+echo "== tests =="
+go test ./...
+echo "== race lane (pipeline engine / online / simclock) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/...
+echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
+go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
+go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
+echo "verify.sh: all lanes green"
