@@ -8,11 +8,25 @@ verify:
 	$(GO) run ./cmd/llmpq-vet ./...
 	$(GO) test ./...
 
-# Race lane: the pipeline engine, online admission, and simulated clock run
-# under the race detector (documented in README "Correctness tooling").
+# Race lane: the pipeline engine (incl. the instrumented goroutine
+# pipeline), online admission, simulated clock, observability registry, and
+# TP mesh search run under the race detector (documented in README
+# "Correctness tooling").
 .PHONY: verify-race
 verify-race:
-	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/...
+	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/...
+
+# Coverage gate: aggregate statement coverage over ./internal/... must not
+# drop below COVER_FLOOR (percent, measured when the gate was introduced;
+# raise it when coverage improves, never lower it to make a PR pass).
+COVER_FLOOR := 85.0
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (got + 0 < floor + 0) { printf "cover: %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
+		printf "cover: %.1f%% (floor %.1f%%)\n", got, floor }'
 
 # Fuzz smoke: ~30 s across the two quantizer fuzz lanes (Theorem 1 error
 # envelope + group-wise packing invariants).

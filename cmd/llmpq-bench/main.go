@@ -68,8 +68,10 @@ func withSpeedup(t *experiments.Table, all []experiments.ServingComparison) *exp
 
 func main() {
 	var (
-		only = flag.String("only", "", "comma-separated experiment ids to run")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		only       = flag.String("only", "", "comma-separated experiment ids to run")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		metricsOut = flag.String("metrics-out", "", "run an instrumented demo serve and write its metrics dump here")
+		traceOut   = flag.String("trace-out", "", "run an instrumented demo serve and write its Chrome trace JSON here")
 	)
 	flag.Parse()
 
@@ -79,6 +81,16 @@ func main() {
 			fmt.Println(r.id)
 		}
 		return
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		if err := runObserved(*metricsOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "llmpq-bench: observed serve failed: %v\n", err)
+			os.Exit(1)
+		}
+		// The observed demo stands alone unless experiments were also named.
+		if *only == "" {
+			return
+		}
 	}
 	want := map[string]bool{}
 	if *only != "" {

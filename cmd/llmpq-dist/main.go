@@ -15,14 +15,30 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
+// writeArtifact creates path and streams one export into it.
+func writeArtifact(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 func main() {
 	var (
-		stratFile = flag.String("strat-file", "strategy.json", "strategy file from llmpq-algo")
-		verbose   = flag.Bool("v", false, "print per-stage utilization")
-		gantt     = flag.Bool("gantt", false, "render the per-stage execution timeline")
+		stratFile  = flag.String("strat-file", "strategy.json", "strategy file from llmpq-algo")
+		verbose    = flag.Bool("v", false, "print per-stage utilization")
+		gantt      = flag.Bool("gantt", false, "render the per-stage execution timeline")
+		metricsOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the run here")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run here")
 	)
 	flag.Parse()
 
@@ -42,6 +58,16 @@ func main() {
 		fatalf("%v", err)
 	}
 	eng.Trace = *gantt
+	var reg *obs.Registry
+	var rec *obs.SpanRecorder
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		eng.Obs = reg
+	}
+	if *traceOut != "" {
+		rec = obs.NewSpanRecorder()
+		eng.Spans = rec
+	}
 	st, err := eng.Run()
 	var oom *runtime.OOMError
 	if errors.As(err, &oom) {
@@ -55,6 +81,18 @@ func main() {
 		spec.Work.GlobalBatch, spec.Work.Prompt, spec.Work.Generate)
 	fmt.Printf("latency      %.2f s (prefill %.2f s)\n", st.LatencySec, st.PrefillSec)
 	fmt.Printf("throughput   %.2f token/s (%d tokens)\n", st.Throughput, st.TokensOut)
+	if reg != nil {
+		if err := writeArtifact(*metricsOut, func(f *os.File) error { return reg.WriteText(f) }); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		fmt.Printf("metrics      %s\n", *metricsOut)
+	}
+	if rec != nil {
+		if err := writeArtifact(*traceOut, func(f *os.File) error { return rec.WriteChromeTrace(f) }); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace        %s (%d spans, load in chrome://tracing)\n", *traceOut, rec.Len())
+	}
 	if *verbose {
 		for j := range st.StageBusy {
 			fmt.Printf("stage %d      busy %.2fs (%.0f%%), reserved %.1f GB\n",

@@ -225,6 +225,7 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 		}
 	}
 	dp[0][0] = 0
+	cells := 0
 	// Surrogate weights: the true objective charges the bottleneck stage
 	// (k_p−1)× extra prefill rounds and (rounds−1)× extra decode rounds.
 	// A balanced pipeline spreads that premium evenly across stages, so
@@ -256,6 +257,7 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 					preA, preB := t.TPre[d][pr[0]], t.TPre[d][pr[1]]
 					decA, decB := t.TDec[d][pr[0]], t.TDec[d][pr[1]]
 					for cntB := 0; cntB <= k; cntB++ {
+						cells++
 						cA := float64(k - cntB)
 						cB := float64(cntB)
 						mem := cA*memA + cB*memB
@@ -281,6 +283,7 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 			}
 		}
 	}
+	obsDPCells(s.Obs, cells)
 	if dp[n][L] >= inf {
 		return nil, nil
 	}

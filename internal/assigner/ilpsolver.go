@@ -134,6 +134,7 @@ func solveILP(t *Tables, order []int, limit time.Duration) (*Plan, error) {
 	res, err := ilp.Solve(&ilp.Problem{
 		C: c, Aub: aub, Bub: bub, Aeq: aeq, Beq: beq, Integer: ints, Upper: ups,
 	}, limit)
+	obsILPSolve(s.Obs, res.Nodes, res.Pivots)
 	if errors.Is(err, ilp.ErrNoIncumbent) {
 		return nil, nil
 	}

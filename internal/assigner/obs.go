@@ -1,0 +1,44 @@
+package assigner
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric family names exported by the assigner's solvers (DESIGN.md §8).
+const (
+	metricSolverPlanTime     = "llmpq_solver_time_to_plan_seconds"
+	metricSolverCombinations = "llmpq_solver_combinations_total"
+	metricSolverDPCells      = "llmpq_solver_dp_cells_total"
+	metricSolverILPNodes     = "llmpq_solver_ilp_nodes_total"
+	metricSolverILPPivots    = "llmpq_solver_ilp_pivots_total"
+)
+
+// obsPlanDone records one completed Optimize call: end-to-end time to plan
+// and the (order, micro-batch) combinations enumerated. Nil registry = no-op.
+func obsPlanDone(r *obs.Registry, method Method, seconds float64, combinations int) {
+	if r == nil {
+		return
+	}
+	ml := obs.L("method", method.String())
+	r.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml).Observe(seconds)
+	r.Counter(metricSolverCombinations, ml).Add(float64(combinations))
+}
+
+// obsDPCells accumulates the DP cells (candidate (stage, groups, pair,
+// count) tuples) expanded by one solveDP run.
+func obsDPCells(r *obs.Registry, cells int) {
+	if r == nil || cells == 0 {
+		return
+	}
+	r.Counter(metricSolverDPCells).Add(float64(cells))
+}
+
+// obsILPSolve accumulates branch-and-bound nodes and simplex pivots of one
+// MILP solve.
+func obsILPSolve(r *obs.Registry, nodes, pivots int) {
+	if r == nil {
+		return
+	}
+	r.Counter(metricSolverILPNodes).Add(float64(nodes))
+	r.Counter(metricSolverILPPivots).Add(float64(pivots))
+}

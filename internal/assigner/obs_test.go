@@ -1,0 +1,109 @@
+package assigner
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/indicator"
+	"repro/internal/obs"
+)
+
+// TestOptimizeObserved checks solver instrumentation for both exact
+// methods: the registry must record time-to-plan, the enumerated search
+// space, and the method-specific work counters — and attaching it must
+// not change the plan.
+func TestOptimizeObserved(t *testing.T) {
+	// The ILP case must stay small (6 groups × 2 bits, one micro-batch
+	// candidate) so branch-and-bound terminates quickly; DP runs the full
+	// tiny spec.
+	small := tinyModel
+	small.Layers = 6
+	mkSpec := func(method Method) *Spec {
+		if method == MethodDP {
+			return tinySpec(method, 0.1, 2.0, 2.0)
+		}
+		return &Spec{
+			Cfg:                 small,
+			Cluster:             tinyCluster(1.4, 1.0),
+			Work:                Workload{GlobalBatch: 4, Prompt: 128, Generate: 8},
+			Bits:                []int{4, 16},
+			Omega:               subsetOmega(indicator.Synthetic(small, []int{3, 4, 8, 16}, 7), []int{4, 16}),
+			Theta:               0.01,
+			Method:              method,
+			PrefillMicroBatches: []int{2},
+			TimeLimit:           60 * time.Second,
+		}
+	}
+	for _, method := range []Method{MethodDP, MethodILP} {
+		t.Run(method.String(), func(t *testing.T) {
+			plain, err := Optimize(mkSpec(method), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reg := obs.NewRegistry()
+			si := mkSpec(method)
+			si.Obs = reg
+			res, err := Optimize(si, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plansEqual(plain.Plan, res.Plan) {
+				t.Errorf("instrumentation changed the plan:\nplain: %+v\nobs:   %+v", plain.Plan, res.Plan)
+			}
+
+			ml := obs.L("method", method.String())
+			h := reg.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml)
+			if h.Count() != 1 {
+				t.Errorf("time-to-plan histogram has %d samples, want 1", h.Count())
+			}
+			if got := reg.Counter(metricSolverCombinations, ml).Value(); int(got) != res.Explored {
+				t.Errorf("combinations counter %.0f, want %d", got, res.Explored)
+			}
+			switch method {
+			case MethodDP:
+				if cells := reg.Counter(metricSolverDPCells).Value(); cells <= 0 {
+					t.Errorf("DP cells counter %.0f, want >0", cells)
+				}
+			case MethodILP:
+				if nodes := reg.Counter(metricSolverILPNodes).Value(); nodes <= 0 {
+					t.Errorf("ILP nodes counter %.0f, want >0", nodes)
+				}
+				if piv := reg.Counter(metricSolverILPPivots).Value(); piv <= 0 {
+					t.Errorf("ILP pivots counter %.0f, want >0", piv)
+				}
+			}
+
+			var sb strings.Builder
+			if err := reg.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), metricSolverPlanTime+`_count{method="`+method.String()+`"}`) {
+				t.Errorf("metrics dump missing plan-time count for %s:\n%s", method, sb.String())
+			}
+		})
+	}
+}
+
+func plansEqual(a, b *Plan) bool {
+	if len(a.Order) != len(b.Order) || len(a.Boundaries) != len(b.Boundaries) || len(a.GroupBits) != len(b.GroupBits) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	for i := range a.Boundaries {
+		if a.Boundaries[i] != b.Boundaries[i] {
+			return false
+		}
+	}
+	for i := range a.GroupBits {
+		if a.GroupBits[i] != b.GroupBits[i] {
+			return false
+		}
+	}
+	return a.PrefillMB == b.PrefillMB && a.DecodeMB == b.DecodeMB
+}

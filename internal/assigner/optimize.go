@@ -55,7 +55,9 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 			s.Cfg.Name, s.Cluster.Name, s.Method)
 	}
 	best.Finalize(bestEv)
-	return &Result{Plan: best, Eval: bestEv, Solve: time.Since(start), Explored: explored}, nil
+	solve := time.Since(start)
+	obsPlanDone(s.Obs, s.Method, solve.Seconds(), explored)
+	return &Result{Plan: best, Eval: bestEv, Solve: solve, Explored: explored}, nil
 }
 
 func solveInner(s *Spec, t *Tables, order []int) (*Plan, *Evaluation, error) {

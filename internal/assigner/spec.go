@@ -30,6 +30,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/indicator"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Workload is the offline serving task: prompts padded to Prompt tokens,
@@ -100,6 +101,10 @@ type Spec struct {
 	// PrefillMicroBatches overrides the candidate prefill micro-batch set
 	// (Optimization #1 enumerates within [1, ξ]); nil = powers of two.
 	PrefillMicroBatches []int
+	// Obs, when non-nil, receives solver metrics: time-to-plan, (order,
+	// micro-batch) combinations, DP cells expanded, ILP nodes and simplex
+	// pivots (DESIGN.md §8). Nil keeps the solve uninstrumented.
+	Obs *obs.Registry
 }
 
 // Validate checks the spec.

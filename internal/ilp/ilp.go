@@ -36,6 +36,7 @@ type Result struct {
 	X        []float64
 	Obj      float64
 	Nodes    int  // branch-and-bound nodes explored
+	Pivots   int  // simplex pivots summed across node relaxations
 	TimedOut bool // hit the time limit; result is best incumbent if any
 }
 
@@ -81,6 +82,7 @@ func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 	stack := []node{root}
 	best := Result{Status: lp.Infeasible, Obj: math.Inf(1)}
 	nodes := 0
+	pivots := 0
 	timedOut := false
 
 	for len(stack) > 0 {
@@ -96,6 +98,7 @@ func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		pivots += rel.Pivots
 		if rel.Status != lp.Optimal {
 			continue // infeasible or unbounded subtree (unbounded cannot improve with bounds tightening here)
 		}
@@ -147,6 +150,7 @@ func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 	}
 
 	best.Nodes = nodes
+	best.Pivots = pivots
 	best.TimedOut = timedOut
 	if timedOut && best.Status != lp.Optimal {
 		return best, ErrNoIncumbent

@@ -57,6 +57,7 @@ type Result struct {
 	Status Status
 	X      []float64
 	Obj    float64
+	Pivots int // simplex pivots across both phases
 }
 
 // ErrMaxIter is returned when simplex exceeds its pivot budget.
@@ -145,7 +146,7 @@ func Solve(p *Problem) (Result, error) {
 		return Result{}, errors.New("lp: phase 1 unbounded (internal error)")
 	}
 	if t.objValue() > eps*math.Max(1, maxAbs(p.Bub, p.Beq)) {
-		return Result{Status: Infeasible}, nil
+		return Result{Status: Infeasible, Pivots: t.pivots}, nil
 	}
 	// Drive remaining artificials out of the basis where possible.
 	t.purgeArtificials(n + mUB)
@@ -160,7 +161,7 @@ func Solve(p *Problem) (Result, error) {
 		return Result{}, err
 	}
 	if st == Unbounded {
-		return Result{Status: Unbounded}, nil
+		return Result{Status: Unbounded, Pivots: t.pivots}, nil
 	}
 	x := make([]float64, n)
 	for i, bi := range t.basis {
@@ -172,7 +173,7 @@ func Solve(p *Problem) (Result, error) {
 	for j := range p.C {
 		obj += p.C[j] * x[j]
 	}
-	return Result{Status: Optimal, X: x, Obj: obj}, nil
+	return Result{Status: Optimal, X: x, Obj: obj, Pivots: t.pivots}, nil
 }
 
 func maxAbs(xs ...[]float64) float64 {
@@ -197,6 +198,7 @@ type tableau struct {
 	cObj      float64   // running -(objective value) of the basis
 	basis     []int
 	forbidden int // columns ≥ forbidden may not enter the basis (0 = none)
+	pivots    int // pivot operations performed (both phases + purge)
 }
 
 func newTableau(m, n int) *tableau {
@@ -228,6 +230,7 @@ func (t *tableau) setObjective(c []float64) {
 func (t *tableau) objValue() float64 { return -t.cObj }
 
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	p := t.a[row][col]
 	inv := 1 / p
 	for j := 0; j < t.n; j++ {

@@ -1,0 +1,231 @@
+// Package obs is the stdlib-only observability layer shared by the
+// simulated engine, the real goroutine pipeline, the online simulator,
+// and the solvers (DESIGN.md §8):
+//
+//   - Registry: a concurrency-safe metrics registry of labeled counter,
+//     gauge, and fixed-bucket histogram families, dumped in a
+//     Prometheus-style text format (WriteText).
+//   - SpanRecorder: a trace of timed spans, exported as Chrome
+//     trace_event JSON (WriteChromeTrace) loadable in chrome://tracing
+//     or Perfetto.
+//
+// Both types treat a nil receiver as a valid no-op: every method on a
+// nil *Registry, *Counter, *Gauge, *Histogram, or *SpanRecorder returns
+// immediately without allocating, so instrumented code paths need no
+// "is observability on?" branches and the uninstrumented configuration
+// costs nothing.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for Label{Key: key, Value: value}.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []Label // sorted by key
+	metric interface{}
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	kind   kind
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; construct with NewRegistry. A nil *Registry is a
+// valid no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use. Returns nil (a no-op counter) when the registry is nil.
+// Panics if name is already registered with a different metric kind —
+// that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, kindCounter, nil, labels, func() interface{} { return &Counter{} })
+	return m.(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first
+// use. Returns nil (a no-op gauge) when the registry is nil.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, kindGauge, nil, labels, func() interface{} { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels, creating it on
+// first use with the given ascending bucket upper bounds (an implicit
+// +Inf overflow bucket is always appended). Returns nil (a no-op
+// histogram) when the registry is nil. All series of one family share the
+// family's bounds; passing different bounds for an existing family panics.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if err := validBounds(bounds); err != nil {
+		panic(fmt.Sprintf("obs: histogram %q: %v", name, err))
+	}
+	m := r.lookup(name, kindHistogram, bounds, labels, func() interface{} { return newHistogram(bounds) })
+	return m.(*Histogram)
+}
+
+func (r *Registry) lookup(name string, k kind, bounds []float64, labels []Label, mk func() interface{}) interface{} {
+	ls := sortedLabels(labels)
+	sig := labelSignature(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: k, bounds: append([]float64(nil), bounds...), series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	if k == kindHistogram && !sameBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: ls, metric: mk()}
+		f.series[sig] = s
+	}
+	return s.metric
+}
+
+// sortedLabels copies and sorts labels by key (stable export order).
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+func labelSignature(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bucket bounds are configuration constants, compared for identity,
+		// not computed quantities: exact comparison is intended here.
+		if a[i] < b[i] || a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validBounds(bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("need at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return fmt.Errorf("bounds must be strictly ascending, got %v", bounds)
+		}
+	}
+	return nil
+}
+
+// ExpBuckets returns n strictly ascending bounds start, start·factor,
+// start·factor², … — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d): need start>0, factor>1, n>=1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n strictly ascending bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("obs: LinearBuckets(%g, %g, %d): need width>0, n>=1", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// TimeBuckets is the default bucket ladder for second-scale durations:
+// 1 µs · 4ⁱ for i in [0,16), i.e. 1 µs … ~4.5 min.
+func TimeBuckets() []float64 { return ExpBuckets(1e-6, 4, 16) }
+
+// FractionBuckets is the default ladder for ratios in [0,1] (occupancy,
+// utilization): 0.1, 0.2, …, 1.0.
+func FractionBuckets() []float64 { return LinearBuckets(0.1, 0.1, 10) }

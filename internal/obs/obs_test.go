@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core/floats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("llmpq_test_total", L("stage", "0"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if !floats.AlmostEqual(c.Value(), 3) {
+		t.Errorf("counter = %g, want 3", c.Value())
+	}
+	// Same name+labels returns the same series.
+	if again := r.Counter("llmpq_test_total", L("stage", "0")); again != c {
+		t.Error("counter lookup did not return the existing series")
+	}
+	// Different labels are a different series.
+	if other := r.Counter("llmpq_test_total", L("stage", "1")); other == c {
+		t.Error("distinct labels mapped to the same series")
+	}
+
+	g := r.Gauge("llmpq_test_gauge")
+	g.Set(4)
+	g.Add(-1.5)
+	if !floats.AlmostEqual(g.Value(), 2.5) {
+		t.Errorf("gauge = %g, want 2.5", g.Value())
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind clash")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBucketClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bucket clash")
+		}
+	}()
+	r.Histogram("h", []float64{1, 2, 3})
+}
+
+// TestNilRegistryIsNoOp pins the zero-instrumentation contract: every
+// method chain on a nil registry/recorder is safe, does nothing, and
+// allocates nothing on the hot path.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	if v := r.Counter("c").Value(); v > 0 || v < 0 {
+		t.Errorf("nil counter value = %g", v)
+	}
+	if !math.IsNaN(r.Histogram("h", []float64{1}).Quantile(0.5)) {
+		t.Error("nil histogram quantile should be NaN")
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil registry wrote %q", sb.String())
+	}
+
+	var rec *SpanRecorder
+	rec.Record(Span{Name: "x"})
+	rec.NameThread(0, "x")
+	if rec.Len() != 0 || rec.Spans() != nil {
+		t.Error("nil recorder retained spans")
+	}
+	if s := rec.Since(); s > 0 || s < 0 {
+		t.Errorf("nil recorder Since = %g", s)
+	}
+
+	// Pre-resolved nil metrics (the pattern the engine uses) must not
+	// allocate per observation.
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{1})
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(2)
+		rec.Record(Span{Name: "y"})
+	})
+	if allocs > 0 {
+		t.Errorf("nil-metric hot path allocates %.1f per op", allocs)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("llmpq_b_total", L("stage", "1")).Add(2)
+	r.Counter("llmpq_b_total", L("stage", "0")).Add(1)
+	r.Gauge("llmpq_a_gauge").Set(1.5)
+	h := r.Histogram("llmpq_c_seconds", []float64{0.5, 1}, L("stage", "0"))
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE llmpq_a_gauge gauge
+llmpq_a_gauge 1.5
+# TYPE llmpq_b_total counter
+llmpq_b_total{stage="0"} 1
+llmpq_b_total{stage="1"} 2
+# TYPE llmpq_c_seconds histogram
+llmpq_c_seconds_bucket{stage="0",le="0.5"} 1
+llmpq_c_seconds_bucket{stage="0",le="1"} 2
+llmpq_c_seconds_bucket{stage="0",le="+Inf"} 3
+llmpq_c_seconds_sum{stage="0"} 100
+llmpq_c_seconds_count{stage="0"} 3
+`
+	if got != want {
+		t.Errorf("WriteText mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	wantExp := []float64{1, 2, 4, 8}
+	for i := range wantExp {
+		if !floats.AlmostEqual(exp[i], wantExp[i]) {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, exp[i], wantExp[i])
+		}
+	}
+	lin := LinearBuckets(0.1, 0.1, 3)
+	wantLin := []float64{0.1, 0.2, 0.3}
+	for i := range wantLin {
+		if !floats.EqTol(lin[i], wantLin[i], 1e-12) {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, lin[i], wantLin[i])
+		}
+	}
+	if err := validBounds(TimeBuckets()); err != nil {
+		t.Errorf("TimeBuckets invalid: %v", err)
+	}
+	if err := validBounds(FractionBuckets()); err != nil {
+		t.Errorf("FractionBuckets invalid: %v", err)
+	}
+}
+
+func TestRegistryConcurrentMixedUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				r.Counter("c", L("w", "x")).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{1, 10}).Observe(float64(k))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", L("w", "x")).Value(); !floats.AlmostEqual(got, 1600) {
+		t.Errorf("concurrent counter = %g, want 1600", got)
+	}
+	if got := r.Histogram("h", []float64{1, 10}).Count(); got != 1600 {
+		t.Errorf("concurrent histogram count = %d, want 1600", got)
+	}
+}

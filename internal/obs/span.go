@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed interval of work. Start and Dur are in seconds:
+// simulated-clock seconds when recorded by the discrete-event engine,
+// wall-clock seconds since the recorder's epoch when recorded by the
+// real goroutine pipeline. TID groups spans into rows (one per pipeline
+// stage) in the Chrome trace viewer.
+type Span struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	TID   int               `json:"tid"`
+	Start float64           `json:"start"`
+	Dur   float64           `json:"dur"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// End returns the span's end time in seconds.
+func (s Span) End() float64 { return s.Start + s.Dur }
+
+// SpanRecorder accumulates spans; it is safe for concurrent use, and all
+// methods are no-ops on a nil receiver (Since returns 0). Export with
+// WriteChromeTrace.
+type SpanRecorder struct {
+	mu          sync.Mutex
+	epoch       time.Time
+	spans       []Span
+	threadNames map[int]string
+}
+
+// NewSpanRecorder returns a recorder whose epoch (the zero of Since) is
+// now.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{epoch: time.Now(), threadNames: map[int]string{}}
+}
+
+// Since returns wall-clock seconds elapsed since the recorder's epoch —
+// the Start timestamp source for real (non-simulated) spans. Returns 0 on
+// a nil recorder.
+func (r *SpanRecorder) Since() float64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch).Seconds()
+}
+
+// Record appends one span.
+func (r *SpanRecorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// NameThread attaches a human-readable row name to a TID ("stage 0",
+// "master", …); emitted as Chrome thread_name metadata.
+func (r *SpanRecorder) NameThread(tid int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.threadNames[tid] = name
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded spans (0 on nil).
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Spans returns a copy of the recorded spans (nil on a nil recorder).
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// threads returns a copy of the TID→name map.
+func (r *SpanRecorder) threads() map[int]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]string, len(r.threadNames))
+	for k, v := range r.threadNames {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core/floats"
+)
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder()
+	rec.NameThread(0, "stage 0")
+	rec.NameThread(1, "stage 1")
+	want := []Span{
+		{Name: "prefill", Cat: "prefill", TID: 0, Start: 0, Dur: 0.125,
+			Args: map[string]string{"mb": "0"}},
+		{Name: "prefill", Cat: "prefill", TID: 1, Start: 0.125, Dur: 0.1},
+		{Name: "decode", Cat: "decode", TID: 0, Start: 0.3, Dur: 0.0625,
+			Args: map[string]string{"mb": "1", "round": "3"}},
+	}
+	// Record out of order: export must sort by (start, tid).
+	rec.Record(want[2])
+	rec.Record(want[0])
+	rec.Record(want[1])
+
+	var sb strings.Builder
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	raw := sb.String()
+
+	// The file must be a valid JSON object with a traceEvents array — the
+	// shape chrome://tracing and Perfetto load.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(raw), &top); err != nil {
+		t.Fatalf("emitted trace is not a JSON object: %v", err)
+	}
+	if _, ok := top["traceEvents"]; !ok {
+		t.Fatal("emitted trace has no traceEvents key")
+	}
+
+	got, err := ParseChromeTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d spans, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Name != w.Name || g.Cat != w.Cat || g.TID != w.TID {
+			t.Errorf("span %d = %+v, want %+v", i, g, w)
+		}
+		if !floats.EqTol(g.Start, w.Start, 1e-12) || !floats.EqTol(g.Dur, w.Dur, 1e-12) {
+			t.Errorf("span %d timing = (%g, %g), want (%g, %g)", i, g.Start, g.Dur, w.Start, w.Dur)
+		}
+		if len(g.Args) != len(w.Args) {
+			t.Errorf("span %d args = %v, want %v", i, g.Args, w.Args)
+			continue
+		}
+		for k, v := range w.Args {
+			if g.Args[k] != v {
+				t.Errorf("span %d arg %q = %q, want %q", i, k, g.Args[k], v)
+			}
+		}
+	}
+}
+
+func TestChromeTraceEmptyAndNil(t *testing.T) {
+	var sb strings.Builder
+	var rec *SpanRecorder
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("nil recorder: %v", err)
+	}
+	spans, err := ParseChromeTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("nil recorder emitted unparseable trace: %v", err)
+	}
+	if len(spans) != 0 {
+		t.Errorf("nil recorder trace has %d spans", len(spans))
+	}
+
+	sb.Reset()
+	if err := NewSpanRecorder().WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("empty recorder: %v", err)
+	}
+	if _, err := ParseChromeTrace(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("empty recorder emitted unparseable trace: %v", err)
+	}
+}
+
+func TestParseChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Record(Span{Name: "s", TID: w, Start: rec.Since(), Dur: 1e-6})
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Len() != 800 {
+		t.Errorf("recorded %d spans, want 800", rec.Len())
+	}
+	var sb strings.Builder
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ParseChromeTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 800 {
+		t.Errorf("trace has %d spans, want 800", len(spans))
+	}
+}
+
+func TestSpanEnd(t *testing.T) {
+	s := Span{Start: 1.5, Dur: 0.25}
+	if !floats.EqTol(s.End(), 1.75, 1e-12) {
+		t.Errorf("End = %g, want 1.75", s.End())
+	}
+}

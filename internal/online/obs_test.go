@@ -1,0 +1,80 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/floats"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// TestRunObserved checks the online simulator's instrumentation: metric
+// totals must agree with the returned Stats, and attaching a registry
+// must not change the simulation's outcome.
+func TestRunObserved(t *testing.T) {
+	base := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 8,
+		Arrival: 4, Duration: 20, MaxNew: 24, MaxBatch: 32, Seed: 7,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	cfg := base
+	cfg.Obs = reg
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Instrumentation must not perturb the simulation.
+	if st.Completed != plain.Completed || st.GeneratedTok != plain.GeneratedTok ||
+		!floats.AlmostEqual(st.Throughput, plain.Throughput) ||
+		!floats.AlmostEqual(st.MeanLatency, plain.MeanLatency) {
+		t.Errorf("observed run diverged: %+v vs %+v", st, plain)
+	}
+
+	bl := obs.L("bits", "8")
+	if got := reg.Counter(metricCompleted, bl).Value(); int(got) != st.Completed {
+		t.Errorf("completed counter %.0f, want %d", got, st.Completed)
+	}
+	lat := reg.Histogram(metricReqLatency, obs.TimeBuckets(), bl)
+	if int(lat.Count()) != st.Completed {
+		t.Errorf("latency histogram has %d samples, want %d", lat.Count(), st.Completed)
+	}
+	// Histogram mean of request latencies must reproduce Stats.MeanLatency.
+	if !floats.EqTol(lat.Mean(), st.MeanLatency, 1e-9) {
+		t.Errorf("latency histogram mean %.6f, Stats.MeanLatency %.6f", lat.Mean(), st.MeanLatency)
+	}
+	sb := reg.Histogram(metricStepBatch, obs.LinearBuckets(1, 4, 16), bl)
+	if sb.Count() == 0 {
+		t.Error("no step-batch samples")
+	}
+	if !floats.EqTol(sb.Mean(), st.MeanBatch, 1e-9) {
+		t.Errorf("step-batch mean %.4f, Stats.MeanBatch %.4f", sb.Mean(), st.MeanBatch)
+	}
+	if cap := reg.Gauge(metricKVCapTok, bl).Value(); int(cap) != st.KVCapacityTok {
+		t.Errorf("KV capacity gauge %.0f, want %d", cap, st.KVCapacityTok)
+	}
+	occ := reg.Histogram(metricKVOccupancy, obs.FractionBuckets(), bl)
+	if occ.Count() == 0 {
+		t.Error("no KV occupancy samples")
+	}
+	if hi := occ.Quantile(1); hi > 1.0+1e-9 {
+		t.Errorf("occupancy exceeded 1: %g", hi)
+	}
+
+	var dump strings.Builder
+	if err := reg.WriteText(&dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{metricQueueDepth, metricKVOccupancy, metricStepBatch, metricReqLatency} {
+		if !strings.Contains(dump.String(), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}

@@ -21,9 +21,92 @@ import (
 
 	"repro/internal/hardware"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/workload"
 )
+
+// Metric family names exported by the online simulator.
+const (
+	metricQueueDepth  = "llmpq_online_queue_depth"
+	metricKVUsedTok   = "llmpq_online_kv_used_tokens"
+	metricKVCapTok    = "llmpq_online_kv_capacity_tokens"
+	metricKVOccupancy = "llmpq_online_kv_occupancy"
+	metricStepBatch   = "llmpq_online_step_batch"
+	metricReqLatency  = "llmpq_online_request_latency_seconds"
+	metricAdmitted    = "llmpq_online_admitted_total"
+	metricCompleted   = "llmpq_online_completed_total"
+	metricRejected    = "llmpq_online_rejected_total"
+)
+
+// onlineObs pre-resolves the simulator's metric series; nil = no-op.
+type onlineObs struct {
+	queueDepth *obs.Histogram
+	kvUsed     *obs.Gauge
+	kvCap      *obs.Gauge
+	occupancy  *obs.Histogram
+	stepBatch  *obs.Histogram
+	latency    *obs.Histogram
+	admitted   *obs.Counter
+	completed  *obs.Counter
+	rejected   *obs.Counter
+}
+
+func newOnlineObs(r *obs.Registry, bits int, kvTokens int) *onlineObs {
+	if r == nil {
+		return nil
+	}
+	bl := obs.L("bits", fmt.Sprint(bits))
+	o := &onlineObs{
+		queueDepth: r.Histogram(metricQueueDepth, obs.LinearBuckets(1, 4, 16), bl),
+		kvUsed:     r.Gauge(metricKVUsedTok, bl),
+		kvCap:      r.Gauge(metricKVCapTok, bl),
+		occupancy:  r.Histogram(metricKVOccupancy, obs.FractionBuckets(), bl),
+		stepBatch:  r.Histogram(metricStepBatch, obs.LinearBuckets(1, 4, 16), bl),
+		latency:    r.Histogram(metricReqLatency, obs.TimeBuckets(), bl),
+		admitted:   r.Counter(metricAdmitted, bl),
+		completed:  r.Counter(metricCompleted, bl),
+		rejected:   r.Counter(metricRejected, bl),
+	}
+	o.kvCap.Set(float64(kvTokens))
+	return o
+}
+
+// step samples the per-decode-step state: batch size, arrived-but-waiting
+// queue depth, and paged-KV occupancy.
+func (o *onlineObs) step(batch, waiting, usedTok, kvTokens int) {
+	if o == nil {
+		return
+	}
+	o.stepBatch.Observe(float64(batch))
+	o.queueDepth.Observe(float64(waiting))
+	o.kvUsed.Set(float64(usedTok))
+	if kvTokens > 0 {
+		o.occupancy.Observe(float64(usedTok) / float64(kvTokens))
+	}
+}
+
+func (o *onlineObs) admit() {
+	if o == nil {
+		return
+	}
+	o.admitted.Inc()
+}
+
+func (o *onlineObs) finish(latencySec float64) {
+	if o == nil {
+		return
+	}
+	o.completed.Inc()
+	o.latency.Observe(latencySec)
+}
+
+func (o *onlineObs) reject() {
+	if o == nil {
+		return
+	}
+	o.rejected.Inc()
+}
 
 // Config describes one online-serving simulation.
 type Config struct {
@@ -35,6 +118,11 @@ type Config struct {
 	MaxNew   int     // tokens generated per request
 	MaxBatch int     // admission cap on concurrent requests
 	Seed     int64
+	// Obs, when non-nil, receives serving metrics (admission queue depth,
+	// paged-KV occupancy, per-step batch size, request latency histogram —
+	// DESIGN.md §8). Nil keeps the simulation uninstrumented; results are
+	// identical either way.
+	Obs *obs.Registry
 }
 
 // Validate checks the configuration.
@@ -94,6 +182,7 @@ func Run(c Config) (Stats, error) {
 	}
 	perTok := c.Model.KVBytesPerLayer(1, 1, profiler.KVBits) * float64(c.Model.Layers)
 	kvTokens := int(kvPool / perTok)
+	oo := newOnlineObs(c.Obs, c.Bits, kvTokens)
 
 	// Arrivals.
 	var queue []*request
@@ -122,6 +211,7 @@ func Run(c Config) (Stats, error) {
 				break // head-of-line blocking on KV pages
 			}
 			usedTok += kvNeed(r)
+			oo.admit()
 			r.start = now
 			// Prefill cost charged on admission.
 			pre, _ := profiler.LayerTime(c.GPU, c.Model, profiler.Workload{
@@ -148,6 +238,7 @@ func Run(c Config) (Stats, error) {
 			if len(running) == 0 {
 				// KV pool cannot fit even one request: reject it.
 				queue[qi].finish = -1
+				oo.reject()
 				qi++
 				continue
 			}
@@ -156,6 +247,13 @@ func Run(c Config) (Stats, error) {
 		// produces one token.
 		b := len(running)
 		batchSamples = append(batchSamples, float64(b))
+		if oo != nil {
+			waiting := 0
+			for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
+				waiting++
+			}
+			oo.step(b, waiting, usedTok, kvTokens)
+		}
 		ctx := 0
 		for _, r := range running {
 			ctx += r.prompt + r.done
@@ -172,6 +270,7 @@ func Run(c Config) (Stats, error) {
 			if r.done >= c.MaxNew {
 				r.finish = now
 				usedTok -= kvNeed(r)
+				oo.finish(r.finish - r.arrive)
 				finished = append(finished, r)
 			} else {
 				keep = append(keep, r)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/assigner"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
 )
@@ -84,6 +85,15 @@ type Engine struct {
 	// Trace records per-task execution spans into Stats.Trace (render with
 	// RenderGantt).
 	Trace bool
+	// Obs, when non-nil, receives engine metrics: per-stage busy/idle/comm
+	// histograms, KV reservation gauges, and OOM/task counters
+	// (DESIGN.md §8). Nil keeps the hot path allocation-free, so the
+	// uninstrumented simulation is bit-for-bit unchanged.
+	Obs *obs.Registry
+	// Spans, when non-nil, records one simulated-time span per executed
+	// task and inter-stage transfer; export with
+	// (*obs.SpanRecorder).WriteChromeTrace.
+	Spans *obs.SpanRecorder
 }
 
 // NewEngine validates inputs and builds an engine.
@@ -118,6 +128,8 @@ type stage struct {
 	epoch int
 	down  bool
 	cur   task
+	// lastEnd is when the previous task completed (idle-gap accounting).
+	lastEnd float64
 }
 
 // Run simulates the full offline task and returns measured statistics.
@@ -131,6 +143,7 @@ func (e *Engine) Run() (Stats, error) {
 
 	var stats Stats
 	stats.StageMemGB = make([]float64, n)
+	eo := newEngineObs(e.Obs, n)
 	// Startup: load shards, reserve KV, detect OOM.
 	for j := 0; j < n; j++ {
 		d := p.Order[j]
@@ -146,7 +159,9 @@ func (e *Engine) Run() (Stats, error) {
 			return Stats{}, err
 		}
 		stats.StageMemGB[j] = br.Total / 1e9
+		eo.reserve(j, br.Total/1e9)
 		if br.Total > dev.GPU.MemoryBytes() {
+			eo.oomHit()
 			return Stats{}, &OOMError{Stage: j, Device: dev.GPU.Name, NeedGB: br.Total / 1e9, HaveGB: dev.GPU.MemoryGB}
 		}
 	}
@@ -225,18 +240,23 @@ func (e *Engine) Run() (Stats, error) {
 		st.busyTime += dur
 		epoch := st.epoch
 		startAt := clk.Now()
+		eo.idleGap(j, startAt-st.lastEnd)
 		if err := clk.After(dur, func() {
 			if st.epoch != epoch {
 				// The stage failed while this task ran: the work is lost;
 				// it was already re-queued by the failure handler.
 				return
 			}
+			end := clk.Now()
 			if e.Trace {
 				stats.Trace = append(stats.Trace, TaskSpan{
 					Stage: j, MB: t.mb, Round: t.round, Prefill: t.prefill,
-					Start: startAt, End: clk.Now(),
+					Start: startAt, End: end,
 				})
 			}
+			eo.taskDone(j, t.prefill, end-startAt)
+			recordTaskSpan(e.Spans, j, t, startAt, end)
+			st.lastEnd = end
 			st.busy = false
 			if j < n-1 {
 				var comm float64
@@ -245,6 +265,8 @@ func (e *Engine) Run() (Stats, error) {
 				} else {
 					comm = e.commTime(p.Order[j], p.Order[j+1], t.batch, 1)
 				}
+				eo.commHop(j, comm)
+				recordCommSpan(e.Spans, j, t, end, comm)
 				tt := t
 				if err := clk.After(comm, func() { arrive(j+1, tt) }); err != nil {
 					fail(err)
@@ -317,6 +339,7 @@ func (e *Engine) Run() (Stats, error) {
 		stats.StageBusy[j] = st.busyTime
 		stats.Utilization[j] = st.busyTime / stats.LatencySec
 	}
+	eo.finish(stats.LatencySec, stats.Events)
 	return stats, nil
 }
 

@@ -1,0 +1,224 @@
+package runtime
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric family names exported by the two runtimes (DESIGN.md §8).
+const (
+	// Discrete-event engine.
+	metricStageBusy = "llmpq_engine_stage_busy_seconds"
+	metricStageIdle = "llmpq_engine_stage_idle_seconds"
+	metricStageComm = "llmpq_engine_stage_comm_seconds"
+	metricStageKV   = "llmpq_engine_stage_reserved_gb"
+	metricOOM       = "llmpq_engine_oom_total"
+	metricTasks     = "llmpq_engine_tasks_total"
+	metricLatency   = "llmpq_engine_latency_seconds"
+	metricSimEvents = "llmpq_engine_events_total"
+	// Real goroutine pipeline.
+	metricPipeCompute = "llmpq_pipeline_stage_compute_seconds"
+	metricPipeRecv    = "llmpq_pipeline_stage_recv_wait_seconds"
+	metricPipeSend    = "llmpq_pipeline_stage_send_wait_seconds"
+)
+
+func stageLabel(j int) obs.Label { return obs.L("stage", strconv.Itoa(j)) }
+
+// engineObs holds the engine's pre-resolved metric series so the
+// discrete-event hot path touches no registry maps. A nil *engineObs
+// (built from a nil registry) makes every method a no-op, keeping the
+// uninstrumented simulation allocation-free and byte-identical.
+type engineObs struct {
+	busyPre []*obs.Histogram
+	busyDec []*obs.Histogram
+	idle    []*obs.Histogram
+	comm    []*obs.Histogram
+	kv      []*obs.Gauge
+	oom     *obs.Counter
+	tasks   *obs.Counter
+	latency *obs.Gauge
+	events  *obs.Counter
+}
+
+func newEngineObs(r *obs.Registry, stages int) *engineObs {
+	if r == nil {
+		return nil
+	}
+	eo := &engineObs{
+		busyPre: make([]*obs.Histogram, stages),
+		busyDec: make([]*obs.Histogram, stages),
+		idle:    make([]*obs.Histogram, stages),
+		comm:    make([]*obs.Histogram, stages),
+		kv:      make([]*obs.Gauge, stages),
+		oom:     r.Counter(metricOOM),
+		tasks:   r.Counter(metricTasks),
+		latency: r.Gauge(metricLatency),
+		events:  r.Counter(metricSimEvents),
+	}
+	tb := obs.TimeBuckets()
+	for j := 0; j < stages; j++ {
+		sl := stageLabel(j)
+		eo.busyPre[j] = r.Histogram(metricStageBusy, tb, sl, obs.L("phase", "prefill"))
+		eo.busyDec[j] = r.Histogram(metricStageBusy, tb, sl, obs.L("phase", "decode"))
+		eo.idle[j] = r.Histogram(metricStageIdle, tb, sl)
+		eo.comm[j] = r.Histogram(metricStageComm, tb, sl)
+		eo.kv[j] = r.Gauge(metricStageKV, sl)
+	}
+	return eo
+}
+
+func (o *engineObs) taskDone(j int, prefill bool, sec float64) {
+	if o == nil {
+		return
+	}
+	o.tasks.Inc()
+	if prefill {
+		o.busyPre[j].Observe(sec)
+	} else {
+		o.busyDec[j].Observe(sec)
+	}
+}
+
+func (o *engineObs) idleGap(j int, sec float64) {
+	if o == nil || sec <= 0 {
+		return
+	}
+	o.idle[j].Observe(sec)
+}
+
+func (o *engineObs) commHop(j int, sec float64) {
+	if o == nil || sec <= 0 {
+		return
+	}
+	o.comm[j].Observe(sec)
+}
+
+func (o *engineObs) reserve(j int, gb float64) {
+	if o == nil {
+		return
+	}
+	o.kv[j].Set(gb)
+}
+
+func (o *engineObs) oomHit() {
+	if o == nil {
+		return
+	}
+	o.oom.Inc()
+}
+
+func (o *engineObs) finish(latencySec float64, events int) {
+	if o == nil {
+		return
+	}
+	o.latency.Set(latencySec)
+	o.events.Add(float64(events))
+}
+
+// phaseName returns the span name/category for a task phase.
+func phaseName(prefill bool) string {
+	if prefill {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// recordTaskSpan emits one simulated-time task span.
+func recordTaskSpan(rec *obs.SpanRecorder, j int, t task, start, end float64) {
+	if rec == nil {
+		return
+	}
+	ph := phaseName(t.prefill)
+	rec.Record(obs.Span{
+		Name: ph, Cat: ph, TID: j, Start: start, Dur: end - start,
+		Args: map[string]string{
+			"mb":    strconv.Itoa(t.mb),
+			"round": strconv.Itoa(t.round),
+			"batch": strconv.Itoa(t.batch),
+		},
+	})
+}
+
+// recordCommSpan emits one simulated-time inter-stage transfer span,
+// attributed to the sending stage's row.
+func recordCommSpan(rec *obs.SpanRecorder, j int, t task, start, dur float64) {
+	if rec == nil || dur <= 0 {
+		return
+	}
+	rec.Record(obs.Span{
+		Name: "send", Cat: "comm", TID: j, Start: start, Dur: dur,
+		Args: map[string]string{"mb": strconv.Itoa(t.mb), "to": strconv.Itoa(j + 1)},
+	})
+}
+
+// pipelineObs bundles the real pipeline's instrumentation: per-stage
+// wall-clock histograms plus optional spans. nil = uninstrumented.
+type pipelineObs struct {
+	rec     *obs.SpanRecorder
+	epoch   time.Time // timestamp zero when rec is nil
+	compute []*obs.Histogram
+	recv    []*obs.Histogram
+	send    []*obs.Histogram
+}
+
+func newPipelineObs(r *obs.Registry, rec *obs.SpanRecorder, stages int) *pipelineObs {
+	if r == nil && rec == nil {
+		return nil
+	}
+	po := &pipelineObs{
+		rec:     rec,
+		epoch:   time.Now(),
+		compute: make([]*obs.Histogram, stages),
+		recv:    make([]*obs.Histogram, stages),
+		send:    make([]*obs.Histogram, stages),
+	}
+	tb := obs.TimeBuckets()
+	for j := 0; j < stages; j++ {
+		sl := stageLabel(j)
+		po.compute[j] = r.Histogram(metricPipeCompute, tb, sl)
+		po.recv[j] = r.Histogram(metricPipeRecv, tb, sl)
+		po.send[j] = r.Histogram(metricPipeSend, tb, sl)
+		rec.NameThread(j, "stage "+strconv.Itoa(j))
+	}
+	return po
+}
+
+// since returns wall seconds since the recorder's epoch (so span
+// timestamps line up across goroutines), or since pipelineObs creation
+// when only metrics are attached. Returns 0 on nil.
+func (o *pipelineObs) since() float64 {
+	if o == nil {
+		return 0
+	}
+	if o.rec != nil {
+		return o.rec.Since()
+	}
+	return time.Since(o.epoch).Seconds()
+}
+
+// op records one finished stage operation (compute / recv wait / send
+// wait) that began at start (in since() time): a histogram sample, plus a
+// span when a recorder is attached.
+func (o *pipelineObs) op(kind string, j, req int, start float64) {
+	if o == nil {
+		return
+	}
+	dur := o.since() - start
+	switch kind {
+	case "compute":
+		o.compute[j].Observe(dur)
+	case "recv":
+		o.recv[j].Observe(dur)
+	case "send":
+		o.send[j].Observe(dur)
+	}
+	if o.rec == nil {
+		return
+	}
+	o.rec.Record(obs.Span{
+		Name: kind, Cat: kind, TID: j, Start: start, Dur: dur,
+		Args: map[string]string{"req": strconv.Itoa(req)},
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -19,6 +20,10 @@ type Pipeline struct {
 	model      *nn.Model
 	boundaries []int // len = stages+1, over layers
 	stages     int
+	// Optional observability (Instrument): wall-clock per-stage compute
+	// and send/recv-wait histograms and spans.
+	obs   *obs.Registry
+	spans *obs.SpanRecorder
 }
 
 // NewPipeline shards a reference model at the given layer boundaries and
@@ -40,6 +45,16 @@ func NewPipeline(m *nn.Model, boundaries []int, layerBits []int) (*Pipeline, err
 		return nil, err
 	}
 	return &Pipeline{model: m, boundaries: boundaries, stages: len(boundaries) - 1}, nil
+}
+
+// Instrument attaches observability to the pipeline: reg (may be nil)
+// receives per-stage compute and send/recv-wait histograms in wall-clock
+// seconds; rec (may be nil) receives the matching spans, one trace row
+// per stage. Call before Generate; with both nil the pipeline stays
+// uninstrumented and its hot path is unchanged.
+func (p *Pipeline) Instrument(reg *obs.Registry, rec *obs.SpanRecorder) {
+	p.obs = reg
+	p.spans = rec
 }
 
 // activation is the inter-stage message: hidden states of one request.
@@ -80,6 +95,7 @@ func (p *Pipeline) Generate(prompts [][]int, n int) ([][]int, error) {
 	errCh := make(chan error, p.stages+1)
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards caches (each req visits stages in order, so per-req access is already serialized; mu protects the slice headers)
+	po := newPipelineObs(p.obs, p.spans, p.stages)
 
 	for j := 0; j < p.stages; j++ {
 		j := j
@@ -88,16 +104,26 @@ func (p *Pipeline) Generate(prompts [][]int, n int) ([][]int, error) {
 			defer wg.Done()
 			defer close(chans[j+1]) // always unwind the cascade
 			lo, hi := p.boundaries[j], p.boundaries[j+1]
-			for act := range chans[j] {
+			for {
+				t0 := po.since()
+				act, ok := <-chans[j]
+				if !ok {
+					return
+				}
+				po.op("recv", j, act.req, t0)
 				mu.Lock()
 				cache := caches[act.req][j]
 				mu.Unlock()
+				c0 := po.since()
 				out, err := p.model.ForwardRange(lo, hi, act.x, cache)
 				if err != nil {
 					errCh <- fmt.Errorf("stage %d: %w", j, err)
 					return
 				}
+				po.op("compute", j, act.req, c0)
+				s0 := po.since()
 				chans[j+1] <- activation{req: act.req, x: out}
+				po.op("send", j, act.req, s0)
 			}
 		}()
 	}

@@ -16,6 +16,12 @@ import (
 	"repro/internal/hardware"
 )
 
+// Metric family names exported by the TP mesh search.
+const (
+	metricMeshesTried  = "llmpq_tp_meshes_tried_total"
+	metricMeshesUsable = "llmpq_tp_meshes_usable_total"
+)
+
 // Efficiency is the sustained-throughput multiplier per TP degree: the
 // all-reduce after every attention and MLP block erodes linear scaling.
 func Efficiency(degree int) float64 {
@@ -187,6 +193,11 @@ func Optimize(s *assigner.Spec, timer assigner.LayerTimer) (*Result, error) {
 			best = &Result{Mesh: m, Plan: res.Plan, Eval: res.Eval}
 		}
 	}
+	// Per-mesh solver metrics already flowed through sub.Obs (Spec is
+	// copied by value); the mesh tallies are recorded here. Nil-safe:
+	// a nil registry hands out nil counters whose Add is a no-op.
+	s.Obs.Counter(metricMeshesTried).Add(float64(tried))
+	s.Obs.Counter(metricMeshesUsable).Add(float64(usable))
 	if best == nil {
 		return nil, fmt.Errorf("tp: no mesh admits a feasible plan for %s", s.Cfg.Name)
 	}

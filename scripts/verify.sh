@@ -12,8 +12,16 @@ echo "== llmpq-vet (domain analyzers) =="
 go run ./cmd/llmpq-vet ./...
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/...
+echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/llmpq-bench -metrics-out "$obsdir/metrics.prom" -trace-out "$obsdir/trace.json"
+grep -q 'llmpq_engine_stage_busy_seconds_bucket' "$obsdir/metrics.prom"
+grep -q 'llmpq_solver_time_to_plan_seconds' "$obsdir/metrics.prom"
+python3 -m json.tool "$obsdir/trace.json" > /dev/null 2>&1 || {
+    echo "verify.sh: trace.json is not valid JSON" >&2; exit 1; }
 echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
