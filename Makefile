@@ -9,17 +9,18 @@ verify:
 	$(GO) test ./...
 
 # Race lane: the pipeline engine (incl. the instrumented goroutine
-# pipeline), online admission, simulated clock, observability registry, and
-# TP mesh search run under the race detector (documented in README
-# "Correctness tooling").
+# pipeline), online admission, simulated clock, observability registry,
+# TP mesh search, and the parallel planner search (assigner worker pool
+# plus the lp/ilp solvers it calls concurrently) run under the race
+# detector (documented in README "Correctness tooling").
 .PHONY: verify-race
 verify-race:
-	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/...
+	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/...
 
 # Coverage gate: aggregate statement coverage over ./internal/... must not
 # drop below COVER_FLOOR (percent, measured when the gate was introduced;
 # raise it when coverage improves, never lower it to make a PR pass).
-COVER_FLOOR := 85.0
+COVER_FLOOR := 85.5
 .PHONY: cover
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

@@ -40,6 +40,7 @@ func main() {
 		kvBits    = flag.Int("kv-bits", 16, "KV-cache precision: 16 (FP16) or 8 (INT8 KV, extension)")
 		out       = flag.String("o", "strategy.json", "output strategy file")
 		serve     = flag.Bool("serve", false, "also execute the plan on the simulated runtime")
+		parallel  = flag.Int("parallel", 0, "planner search workers (0 = all CPUs); any value yields the same plan")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		ModelName: *modelName, ClusterID: *cluster, Interconnect: *inter,
 		GlobalBatch: *globalBZ, PromptLen: *s, Generate: *n,
 		Theta: *theta, Group: *group, TimeLimit: *limit, OmegaFile: *omega,
-		KVBits: *kvBits,
+		KVBits: *kvBits, Parallelism: *parallel,
 	}
 	switch *method {
 	case "dp":

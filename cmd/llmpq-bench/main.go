@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/assigner"
 	"repro/internal/experiments"
 )
 
@@ -72,8 +73,10 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		metricsOut = flag.String("metrics-out", "", "run an instrumented demo serve and write its metrics dump here")
 		traceOut   = flag.String("trace-out", "", "run an instrumented demo serve and write its Chrome trace JSON here")
+		parallel   = flag.Int("parallel", 0, "planner search workers for every experiment (0 = all CPUs); plans are identical at any setting")
 	)
 	flag.Parse()
+	assigner.SetDefaultParallelism(*parallel)
 
 	rs := runners()
 	if *list {

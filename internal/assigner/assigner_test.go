@@ -93,6 +93,39 @@ func TestSpecValidation(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("expected omega/group mismatch error")
 	}
+	bad = *s
+	bad.Parallelism = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected negative-parallelism error")
+	}
+	for _, mbs := range [][]int{{0}, {-2}, {4, 0}} {
+		bad = *s
+		bad.PrefillMicroBatches = mbs
+		if err := bad.Validate(); err == nil {
+			t.Errorf("expected non-positive micro-batch error for %v", mbs)
+		}
+	}
+	bad = *s
+	bad.PrefillMicroBatches = []int{s.Work.GlobalBatch + 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected micro-batch-exceeds-global-batch error")
+	}
+}
+
+// TestPrefillCandidatesDegenerateBatch pins the fix for a panic: a zero
+// (or negative) global batch used to index an empty candidate slice.
+func TestPrefillCandidatesDegenerateBatch(t *testing.T) {
+	s := tinySpec(MethodDP, 1, 2, 2)
+	for _, gb := range []int{0, -3} {
+		s.Work.GlobalBatch = gb
+		if got := s.prefillCandidates(); got != nil {
+			t.Errorf("GlobalBatch=%d: got candidates %v, want nil", gb, got)
+		}
+	}
+	s.Work.GlobalBatch = 8
+	if got := s.prefillCandidates(); len(got) == 0 {
+		t.Error("positive batch yielded no candidates")
+	}
 }
 
 func TestCandidateOrders(t *testing.T) {

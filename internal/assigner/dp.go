@@ -25,6 +25,24 @@ import (
 // unconstrained solution; every candidate plan is re-scored exactly with
 // Evaluate and the true best kept.
 
+// infCost is the shared infeasibility sentinel: the initial value of DP
+// cells and the "no cap" ε-scan time cap. It sits far enough below
+// math.MaxFloat64 that saturating arithmetic (satAdd) can absorb real
+// stage costs without overflowing to +Inf, and far above any finite
+// objective the cost tables can produce, so a sentinel can never alias a
+// feasible plan's value. Every comparison against it uses >=.
+const infCost = math.MaxFloat64 / 4
+
+// satAdd adds two non-negative costs, saturating at infCost: once either
+// operand is the sentinel (or the sum would reach it), the result is
+// exactly infCost and stays recognizable as infeasible.
+func satAdd(a, b float64) float64 {
+	if sum := a + b; sum < infCost {
+		return sum
+	}
+	return infCost
+}
+
 // StageConstants exposes the position-dependent stage constants to other
 // planners (the baselines build their own partitions over the same cost
 // tables).
@@ -122,8 +140,6 @@ func buildBenefits(s *Spec, kmax int) (*benefitTable, error) {
 			// store per (lo, k) the prefix sums of the k largest benefits
 			// among the first k entries. Computing per k by re-sorting is
 			// O(k² log k) per lo; keep k small via kmax.
-			rows := make([]float64, 0)
-			_ = rows
 			prefixes := make([][]float64, hiMax-lo+1)
 			for k := 1; k <= hiMax-lo; k++ {
 				sub := append([]float64(nil), benefits[:k]...)
@@ -135,8 +151,6 @@ func buildBenefits(s *Spec, kmax int) (*benefitTable, error) {
 				prefixes[k] = ps
 			}
 			bt.prefix[pi][lo] = flatten(prefixes)
-			_ = bitsB
-			_ = bitsA
 		}
 	}
 	return bt, nil
@@ -214,14 +228,13 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 	s := t.Spec
 	n := len(order)
 	L := s.layerGroups()
-	const inf = math.MaxFloat64 / 4
 	dp := make([][]float64, n+1)
 	choice := make([][]dpChoice, n+1)
 	for j := range dp {
 		dp[j] = make([]float64, L+1)
 		choice[j] = make([]dpChoice, L+1)
 		for l := range dp[j] {
-			dp[j][l] = inf
+			dp[j][l] = infCost
 		}
 	}
 	dp[0][0] = 0
@@ -247,7 +260,7 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 		for l := j; l <= L-(n-j); l++ {
 			for k := 1; k <= kmax && k <= l-(j-1); k++ {
 				prev := dp[j-1][l-k]
-				if prev >= inf {
+				if prev >= infCost {
 					continue
 				}
 				lo := l - k
@@ -273,7 +286,9 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 							continue
 						}
 						omega := bt.omegaFor(pi, lo, k, cntB)
-						cost := prev + preW*pre + decW*dec + s.Theta*omega
+						// Nested so finite sums keep the historical left-to-right
+						// association — golden plans are sensitive to the rounding.
+						cost := satAdd(satAdd(satAdd(prev, preW*pre), decW*dec), s.Theta*omega)
 						if cost < dp[j][l] {
 							dp[j][l] = cost
 							choice[j][l] = dpChoice{k: k, pi: pi, cntB: cntB}
@@ -284,7 +299,7 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 		}
 	}
 	obsDPCells(s.Obs, cells)
-	if dp[n][L] >= inf {
+	if dp[n][L] >= infCost {
 		return nil, nil
 	}
 	// Reconstruct.
@@ -335,9 +350,9 @@ func solveStructured(t *Tables, order []int) (*Plan, *Evaluation, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	inf := math.MaxFloat64 / 8
-	// Unconstrained pass.
-	base, err := solveDP(t, order, bt, kmax, inf, inf)
+	// Unconstrained pass: the caps are the shared sentinel, which no
+	// finite stage time can reach.
+	base, err := solveDP(t, order, bt, kmax, infCost, infCost)
 	if err != nil || base == nil {
 		return nil, nil, err
 	}

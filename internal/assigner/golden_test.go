@@ -58,7 +58,7 @@ func goldenCases() []goldenCase {
 	}
 }
 
-func goldenSpec(t *testing.T, gc goldenCase) *assigner.Spec {
+func goldenSpec(t testing.TB, gc goldenCase) *assigner.Spec {
 	t.Helper()
 	cl, err := hardware.ClusterByID(gc.clusterID)
 	if err != nil {

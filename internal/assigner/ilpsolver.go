@@ -12,6 +12,12 @@ import (
 // solveILP builds and solves the paper's MILP (eqs 4–16) for a fixed
 // device ordering and micro-batch sizing.
 //
+// Optimize calls it from concurrent order-workers: the Tables are shared
+// read-only, every matrix built here and all branch-and-bound state in
+// internal/ilp is confined to the call, and the node/pivot tallies flow
+// into the concurrency-safe registry, so no synchronization is needed
+// beyond the pool's own barrier.
+//
 // Variables: binary z[g][j][b] (group g on stage j at bit b) plus two
 // continuous epigraph variables TpreMax, TdecMax that linearize the
 // pipeline-max terms. Constraints: each group placed exactly once (eq 9),

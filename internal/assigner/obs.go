@@ -8,6 +8,7 @@ import (
 const (
 	metricSolverPlanTime     = "llmpq_solver_time_to_plan_seconds"
 	metricSolverCombinations = "llmpq_solver_combinations_total"
+	metricSolverPlanFailures = "llmpq_solver_plan_failures_total"
 	metricSolverDPCells      = "llmpq_solver_dp_cells_total"
 	metricSolverILPNodes     = "llmpq_solver_ilp_nodes_total"
 	metricSolverILPPivots    = "llmpq_solver_ilp_pivots_total"
@@ -22,6 +23,19 @@ func obsPlanDone(r *obs.Registry, method Method, seconds float64, combinations i
 	ml := obs.L("method", method.String())
 	r.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml).Observe(seconds)
 	r.Counter(metricSolverCombinations, ml).Add(float64(combinations))
+}
+
+// obsPlanFail records one failed Optimize call. Failed solves still cost
+// planning time and explored combinations, so they land in the same
+// families as successes, plus a failure counter. Nil registry = no-op.
+func obsPlanFail(r *obs.Registry, method Method, seconds float64, combinations int) {
+	if r == nil {
+		return
+	}
+	ml := obs.L("method", method.String())
+	r.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml).Observe(seconds)
+	r.Counter(metricSolverCombinations, ml).Add(float64(combinations))
+	r.Counter(metricSolverPlanFailures, ml).Inc()
 }
 
 // obsDPCells accumulates the DP cells (candidate (stage, groups, pair,

@@ -107,3 +107,47 @@ func plansEqual(a, b *Plan) bool {
 	}
 	return a.PrefillMB == b.PrefillMB && a.DecodeMB == b.DecodeMB
 }
+
+// TestOptimizeFailureObserved checks that failed Optimize calls still emit
+// time-to-plan and explored-combination metrics, plus the failure counter
+// — previously error paths returned without touching the registry at all.
+func TestOptimizeFailureObserved(t *testing.T) {
+	t.Run("infeasible", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		s := tinySpec(MethodDP, 1, 0.05, 0.05) // nothing fits even at 4 bits
+		s.Obs = reg
+		if _, err := Optimize(s, nil); err == nil {
+			t.Fatal("expected no-feasible-plan error")
+		}
+		ml := obs.L("method", MethodDP.String())
+		if c := reg.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml).Count(); c != 1 {
+			t.Errorf("time-to-plan histogram has %d samples, want 1", c)
+		}
+		if got := reg.Counter(metricSolverPlanFailures, ml).Value(); got != 1 {
+			t.Errorf("failure counter %.0f, want 1", got)
+		}
+		// The whole search space was explored before failing.
+		if got := reg.Counter(metricSolverCombinations, ml).Value(); got <= 0 {
+			t.Errorf("combinations counter %.0f, want >0", got)
+		}
+	})
+	t.Run("invalid-spec", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		s := tinySpec(MethodDP, 1, 2, 2)
+		s.Obs = reg
+		s.Parallelism = -1
+		if _, err := Optimize(s, nil); err == nil {
+			t.Fatal("expected validation error")
+		}
+		ml := obs.L("method", MethodDP.String())
+		if c := reg.Histogram(metricSolverPlanTime, obs.TimeBuckets(), ml).Count(); c != 1 {
+			t.Errorf("time-to-plan histogram has %d samples, want 1", c)
+		}
+		if got := reg.Counter(metricSolverPlanFailures, ml).Value(); got != 1 {
+			t.Errorf("failure counter %.0f, want 1", got)
+		}
+		if got := reg.Counter(metricSolverCombinations, ml).Value(); got != 0 {
+			t.Errorf("combinations counter %.0f, want 0 (failed before the scan)", got)
+		}
+	})
+}

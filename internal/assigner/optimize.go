@@ -2,6 +2,9 @@ package assigner
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hardware"
@@ -15,44 +18,122 @@ type Result struct {
 	Explored int // (order, micro-batch) combinations tried
 }
 
+// defaultParallelism is the process-wide worker-pool fallback used when
+// Spec.Parallelism is zero (the CLIs' -parallel flag installs it); 0 falls
+// through to runtime.NumCPU().
+var defaultParallelism atomic.Int32
+
+// SetDefaultParallelism installs the process-wide fallback for
+// Spec.Parallelism == 0. n <= 0 restores the runtime.NumCPU() default.
+func SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultParallelism.Store(int32(n))
+}
+
+// parallelism resolves the effective worker count for one Optimize call.
+func (s *Spec) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	if n := int(defaultParallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// comboOutcome is the result of one (micro-batch, order) combination.
+// plan == nil with err == nil means the combination is infeasible.
+type comboOutcome struct {
+	plan *Plan
+	ev   *Evaluation
+	err  error
+}
+
 // Optimize is Algorithm 1: enumerate candidate device orderings and
 // (phase, micro-batch size) pairs in the pruned search space; for each,
 // solve the inner bitwidth-assignment / layer-partition problem with the
 // spec's Method; return the plan with the best exact objective.
+//
+// The scan runs on a bounded worker pool of Spec.Parallelism goroutines.
+// Each prefill micro-batch's Tables are built once and shared read-only by
+// every order-worker; results land in a slot indexed by the canonical
+// combination index (micro-batch index × #orders + order index) and are
+// reduced in that index order with the serial search's strict-improvement
+// rule, so the winning plan — and any error reported — is byte-identical
+// to a serial scan regardless of goroutine scheduling. Solver metrics
+// (Spec.Obs) aggregate through the registry's own synchronization;
+// counter totals are order-independent.
 func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	start := time.Now()
+	explored := 0
+	fail := func(err error) (*Result, error) {
+		obsPlanFail(s.Obs, s.Method, time.Since(start).Seconds(), explored)
 		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return fail(err)
 	}
 	if timer == nil {
 		timer = ProfilerTimer{}
 	}
-	start := time.Now()
 	orders := CandidateOrders(s.Cluster)
-	var best *Plan
-	var bestEv Evaluation
-	explored := 0
-	for _, mbp := range s.prefillCandidates() {
+	mbps := s.prefillCandidates()
+
+	// Build each micro-batch's cost tables once, up front; the inner
+	// solvers only ever read them.
+	tables := make([]*Tables, len(mbps))
+	for i, mbp := range mbps {
 		t, err := BuildTables(s, timer, mbp)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		for _, order := range orders {
-			explored++
-			plan, ev, err := solveInner(s, t, order)
-			if err != nil {
-				return nil, err
+		tables[i] = t
+	}
+
+	combos := len(mbps) * len(orders)
+	results := make([]comboOutcome, combos)
+	workers := s.parallelism()
+	if workers > combos {
+		workers = combos
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= combos {
+					return
+				}
+				plan, ev, err := solveInner(s, tables[idx/len(orders)], orders[idx%len(orders)])
+				results[idx] = comboOutcome{plan: plan, ev: ev, err: err}
 			}
-			if plan == nil {
-				continue
-			}
-			if best == nil || ev.Objective < bestEv.Objective {
-				best, bestEv = plan, *ev
-			}
+		}()
+	}
+	wg.Wait()
+	explored = combos
+
+	// Deterministic reduction over the canonical combination order.
+	var best *Plan
+	var bestEv Evaluation
+	for _, r := range results {
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if r.plan == nil {
+			continue
+		}
+		if best == nil || r.ev.Objective < bestEv.Objective {
+			best, bestEv = r.plan, *r.ev
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("assigner: no feasible plan for %s on %s (method %s): even the lowest precisions exceed device memory",
-			s.Cfg.Name, s.Cluster.Name, s.Method)
+		return fail(fmt.Errorf("assigner: no feasible plan for %s on %s (method %s): even the lowest precisions exceed device memory",
+			s.Cfg.Name, s.Cluster.Name, s.Method))
 	}
 	best.Finalize(bestEv)
 	solve := time.Since(start)

@@ -1,0 +1,65 @@
+package assigner_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/assigner"
+)
+
+// TestParallelSearchDeterminism runs the same Table-3 instances at worker
+// counts 1, 4 and 8 and requires deeply equal plans and evaluations: the
+// canonical-combination-index reduction must make the winner independent
+// of goroutine scheduling.
+func TestParallelSearchDeterminism(t *testing.T) {
+	cases := []goldenCase{
+		{"cluster3-opt-13b", 3, "opt-13b", 4},
+		{"cluster9-opt-13b", 9, "opt-13b", 4},
+	}
+	for _, gc := range cases {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			var base *assigner.Result
+			for _, workers := range []int{1, 4, 8} {
+				s := goldenSpec(t, gc)
+				s.Parallelism = workers
+				res, err := assigner.Optimize(s, nil)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", workers, err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base.Plan, res.Plan) {
+					t.Errorf("parallelism %d plan diverged:\nserial:   %+v\nparallel: %+v", workers, base.Plan, res.Plan)
+				}
+				if !reflect.DeepEqual(base.Eval, res.Eval) {
+					t.Errorf("parallelism %d evaluation diverged:\nserial:   %+v\nparallel: %+v", workers, base.Eval, res.Eval)
+				}
+				if base.Explored != res.Explored {
+					t.Errorf("parallelism %d explored %d combinations, serial %d", workers, res.Explored, base.Explored)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimize compares the planner at different worker counts on a
+// Table-3 cluster. With GOMAXPROCS > 1 the parallel rows show the
+// speedup; on a single-core host they bound the pool's overhead instead.
+func BenchmarkOptimize(b *testing.B) {
+	gc := goldenCase{"cluster3-opt-13b", 3, "opt-13b", 4}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "parallel=1", 4: "parallel=4", 8: "parallel=8"}[workers], func(b *testing.B) {
+			s := goldenSpec(b, gc)
+			s.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := assigner.Optimize(s, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -101,6 +101,12 @@ type Spec struct {
 	// PrefillMicroBatches overrides the candidate prefill micro-batch set
 	// (Optimization #1 enumerates within [1, ξ]); nil = powers of two.
 	PrefillMicroBatches []int
+	// Parallelism bounds the worker goroutines Optimize spreads the
+	// (prefill micro-batch × device order) search over. 0 picks the
+	// process-wide default (SetDefaultParallelism, else runtime.NumCPU());
+	// 1 forces a serial scan. The result is byte-identical at every
+	// setting: see the deterministic reduction in Optimize.
+	Parallelism int
 	// Obs, when non-nil, receives solver metrics: time-to-plan, (order,
 	// micro-batch) combinations, DP cells expanded, ILP nodes and simplex
 	// pivots (DESIGN.md §8). Nil keeps the solve uninstrumented.
@@ -127,6 +133,17 @@ func (s *Spec) Validate() error {
 	}
 	if s.Theta < 0 {
 		return fmt.Errorf("assigner: negative theta %g", s.Theta)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("assigner: negative parallelism %d", s.Parallelism)
+	}
+	for i, mb := range s.PrefillMicroBatches {
+		if mb <= 0 {
+			return fmt.Errorf("assigner: prefill micro-batch candidate %d is %d, must be positive", i, mb)
+		}
+		if mb > s.Work.GlobalBatch {
+			return fmt.Errorf("assigner: prefill micro-batch candidate %d is %d, exceeds global batch %d", i, mb, s.Work.GlobalBatch)
+		}
 	}
 	switch s.KVBits {
 	case 0, 8, 16:
@@ -179,6 +196,11 @@ func (s *Spec) decodeMicroBatch() int {
 func (s *Spec) prefillCandidates() []int {
 	if len(s.PrefillMicroBatches) > 0 {
 		return s.PrefillMicroBatches
+	}
+	if s.Work.GlobalBatch <= 0 {
+		// Validate rejects such workloads; empty rather than a panic on
+		// out[len(out)-1] for callers that probe before validating.
+		return nil
 	}
 	var out []int
 	for mb := 1; mb <= s.Work.GlobalBatch; mb *= 2 {

@@ -45,6 +45,10 @@ type Request struct {
 	KVBits int
 	// Interconnect for ad-hoc clusters ("nvlink", "eth800", "eth100").
 	Interconnect string
+	// Parallelism bounds the planner's worker pool (0 = all CPUs). A
+	// runtime knob, not part of the planning problem — excluded from
+	// strategy files so serial and parallel runs serialize identically.
+	Parallelism int `json:"-"`
 }
 
 func (r *Request) defaults() {
@@ -129,16 +133,17 @@ func BuildSpec(r Request) (*assigner.Spec, error) {
 		group = 1
 	}
 	return &assigner.Spec{
-		Cfg:       cfg,
-		Cluster:   cl,
-		Work:      assigner.Workload{GlobalBatch: r.GlobalBatch, Prompt: r.PromptLen, Generate: r.Generate},
-		Bits:      r.Bits,
-		Omega:     assigner.GroupOmega(omega, group),
-		Theta:     r.Theta,
-		Group:     group,
-		Method:    r.Method,
-		TimeLimit: r.TimeLimit,
-		KVBits:    r.KVBits,
+		Cfg:         cfg,
+		Cluster:     cl,
+		Work:        assigner.Workload{GlobalBatch: r.GlobalBatch, Prompt: r.PromptLen, Generate: r.Generate},
+		Bits:        r.Bits,
+		Omega:       assigner.GroupOmega(omega, group),
+		Theta:       r.Theta,
+		Group:       group,
+		Method:      r.Method,
+		TimeLimit:   r.TimeLimit,
+		KVBits:      r.KVBits,
+		Parallelism: r.Parallelism,
 	}, nil
 }
 

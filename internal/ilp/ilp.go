@@ -68,6 +68,10 @@ type node struct {
 }
 
 // Solve runs branch and bound. A zero timeLimit means no limit.
+//
+// Solve is safe for concurrent use: the problem is only read and the node
+// stack, incumbent, and every relaxation LP are confined to the call. The
+// parallel assigner search runs one Solve per order-worker concurrently.
 func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err

@@ -3,6 +3,7 @@ package ilp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,5 +216,48 @@ func TestNodesCounted(t *testing.T) {
 	}
 	if r.Nodes < 1 {
 		t.Errorf("expected at least one node, got %d", r.Nodes)
+	}
+}
+
+// TestSolveConcurrent runs the knapsack MILP from many goroutines sharing
+// one Problem; under -race it proves the call-confined branch-and-bound
+// contract that concurrent order-workers in the assigner rely on.
+func TestSolveConcurrent(t *testing.T) {
+	ints, ups := Binary(3)
+	p := &Problem{
+		C:       []float64{-10, -6, -4},
+		Aub:     [][]float64{{1, 1, 1}},
+		Bub:     []float64{2},
+		Integer: ints,
+		Upper:   ups,
+	}
+	const workers = 8
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				results[w], errs[w] = Solve(p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		r := results[w]
+		if r.Status != lp.Optimal || math.Abs(r.Obj+16) > 1e-9 {
+			t.Fatalf("worker %d: got %v obj=%.9f, want optimal -16", w, r.Status, r.Obj)
+		}
+		if r.X[0] != 1 || r.X[1] != 1 || r.X[2] != 0 {
+			t.Errorf("worker %d: selection %v, want [1 1 0]", w, r.X)
+		}
+		if r.Nodes != results[0].Nodes || r.Pivots != results[0].Pivots {
+			t.Errorf("worker %d: nodes/pivots %d/%d differ from worker 0's %d/%d", w, r.Nodes, r.Pivots, results[0].Nodes, results[0].Pivots)
+		}
 	}
 }

@@ -91,6 +91,11 @@ func (p *Problem) Validate() error {
 }
 
 // Solve runs two-phase simplex.
+//
+// Solve is safe for concurrent use: the problem is only read (rows are
+// copied into a fresh tableau) and every piece of solver state lives in
+// that per-call tableau. The parallel assigner search relies on this —
+// keep any future caching or scratch reuse goroutine-confined.
 func Solve(p *Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err

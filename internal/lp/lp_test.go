@@ -3,6 +3,7 @@ package lp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -218,6 +219,46 @@ func TestSolutionFeasibility(t *testing.T) {
 		// With nonnegative objective, optimum is 0 at x=0.
 		if !approx(r.Obj, 0, 1e-6) {
 			t.Errorf("trial %d: obj %.6f, want 0", trial, r.Obj)
+		}
+	}
+}
+
+// TestSolveConcurrent hammers Solve with the same shared Problem from many
+// goroutines; run under -race it proves the per-call-tableau concurrency
+// contract the parallel assigner search depends on.
+func TestSolveConcurrent(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-3, -2},
+		Aub: [][]float64{{1, 1}, {1, 3}},
+		Bub: []float64{4, 6},
+	}
+	const workers = 8
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 25; rep++ {
+				results[w], errs[w] = Solve(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		r := results[w]
+		if r.Status != Optimal || !approx(r.Obj, -12, 1e-9) {
+			t.Fatalf("worker %d: got %v obj=%.9f, want optimal -12", w, r.Status, r.Obj)
+		}
+		if !approx(r.X[0], 4, 1e-9) || !approx(r.X[1], 0, 1e-9) {
+			t.Errorf("worker %d: x=%v, want [4 0]", w, r.X)
+		}
+		if r.Pivots != results[0].Pivots {
+			t.Errorf("worker %d: pivots %d differ from worker 0's %d (solve not deterministic)", w, r.Pivots, results[0].Pivots)
 		}
 	}
 }

@@ -12,8 +12,8 @@ echo "== llmpq-vet (domain analyzers) =="
 go run ./cmd/llmpq-vet ./...
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock / obs / tp) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/...
 echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
@@ -22,6 +22,11 @@ grep -q 'llmpq_engine_stage_busy_seconds_bucket' "$obsdir/metrics.prom"
 grep -q 'llmpq_solver_time_to_plan_seconds' "$obsdir/metrics.prom"
 python3 -m json.tool "$obsdir/trace.json" > /dev/null 2>&1 || {
     echo "verify.sh: trace.json is not valid JSON" >&2; exit 1; }
+echo "== parallel planner smoke (serial vs -parallel 4 plans must match) =="
+go run ./cmd/llmpq-algo -cluster 9 -model-name opt-13b -parallel 1 -o "$obsdir/serial.json" > /dev/null
+go run ./cmd/llmpq-algo -cluster 9 -model-name opt-13b -parallel 4 -o "$obsdir/parallel.json" > /dev/null
+diff "$obsdir/serial.json" "$obsdir/parallel.json" || {
+    echo "verify.sh: parallel planner diverged from the serial plan" >&2; exit 1; }
 echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
