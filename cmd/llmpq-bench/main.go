@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/assigner"
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -74,6 +75,8 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "run an instrumented demo serve and write its metrics dump here")
 		traceOut   = flag.String("trace-out", "", "run an instrumented demo serve and write its Chrome trace JSON here")
 		parallel   = flag.Int("parallel", 0, "planner search workers for every experiment (0 = all CPUs); plans are identical at any setting")
+		chaosProf  = flag.String("chaos-profile", "", fmt.Sprintf("run the fault-injection demo with this profile (one of %v)", chaos.Profiles()))
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos-profile; same seed reproduces the fault run byte-for-byte")
 	)
 	flag.Parse()
 	assigner.SetDefaultParallelism(*parallel)
@@ -82,6 +85,13 @@ func main() {
 	if *list {
 		for _, r := range rs {
 			fmt.Println(r.id)
+		}
+		return
+	}
+	if *chaosProf != "" {
+		if err := runChaos(*chaosProf, *chaosSeed, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "llmpq-bench: chaos run failed: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,64 @@
+package assigner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEarlyAbortDeterministicError: a hard error on one combination
+// cancels the scan, and the error reported is the lowest canonical
+// combination index regardless of worker count — the claimed set is
+// always a prefix [0, next) run to completion, so the canonical-order
+// reduction sees every index below the failing one.
+func TestEarlyAbortDeterministicError(t *testing.T) {
+	s := tinySpec(MethodDP, 1, 2, 2)
+	combos := len(s.prefillCandidates()) * len(CandidateOrders(s.Cluster))
+	const faultAt = 3
+	if combos <= faultAt+1 {
+		t.Fatalf("test needs > %d combinations to observe the abort, got %d", faultAt+1, combos)
+	}
+	testComboFault = func(idx int) error {
+		if idx >= faultAt {
+			return fmt.Errorf("injected solver fault at combo %d", idx)
+		}
+		return nil
+	}
+	defer func() { testComboFault = nil }()
+
+	for _, workers := range []int{1, 4, 8} {
+		spec := *s
+		spec.Parallelism = workers
+		reg := obs.NewRegistry()
+		spec.Obs = reg
+		_, err := Optimize(&spec, nil)
+		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("combo %d", faultAt)) {
+			t.Fatalf("parallelism %d: error %v, want injected fault at combo %d", workers, err, faultAt)
+		}
+		explored := int(reg.Counter(metricSolverCombinations, obs.L("method", MethodDP.String())).Value())
+		if workers == 1 {
+			// Serial: the worker claims 0..faultAt then aborts; the rest of
+			// the space is never scanned.
+			if explored != faultAt+1 {
+				t.Errorf("serial explored %d combinations, want %d", explored, faultAt+1)
+			}
+		}
+		if explored >= combos+workers {
+			t.Errorf("parallelism %d: abort never triggered (explored %d of %d)", workers, explored, combos)
+		}
+	}
+}
+
+// TestEarlyAbortSeamInertWhenUnset: the production path (seam nil) is
+// untouched — same plan as a clean Optimize.
+func TestEarlyAbortSeamInertWhenUnset(t *testing.T) {
+	if testComboFault != nil {
+		t.Fatal("seam leaked from another test")
+	}
+	s := tinySpec(MethodDP, 1, 2, 2)
+	if _, err := Optimize(s, nil); err != nil {
+		t.Fatalf("clean optimize failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package assigner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,6 +52,11 @@ type comboOutcome struct {
 	err  error
 }
 
+// testComboFault, when non-nil, injects an error before solving the given
+// canonical combination index — the test seam for the early-abort path.
+// Production code never sets it.
+var testComboFault func(idx int) error
+
 // Optimize is Algorithm 1: enumerate candidate device orderings and
 // (phase, micro-batch size) pairs in the pruned search space; for each,
 // solve the inner bitwidth-assignment / layer-partition problem with the
@@ -98,24 +104,48 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 	if workers > combos {
 		workers = combos
 	}
+	// Early abort (ROADMAP): a hard solver error cancels the context so
+	// in-flight workers stop claiming new combinations instead of
+	// finishing the scan. Determinism of the reported error survives
+	// cancellation: the atomic counter hands out indices in increasing
+	// order and workers only abort *between* combinations, so the claimed
+	// set is always a prefix [0, next) that runs to completion before the
+	// barrier — the canonical-order scan below still sees every index
+	// below any erroring one, and reports the lowest.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				idx := int(next.Add(1)) - 1
 				if idx >= combos {
 					return
 				}
-				plan, ev, err := solveInner(s, tables[idx/len(orders)], orders[idx%len(orders)])
+				var plan *Plan
+				var ev *Evaluation
+				var err error
+				if testComboFault != nil {
+					err = testComboFault(idx)
+				}
+				if err == nil {
+					plan, ev, err = solveInner(s, tables[idx/len(orders)], orders[idx%len(orders)])
+				}
 				results[idx] = comboOutcome{plan: plan, ev: ev, err: err}
+				if err != nil {
+					cancel()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	explored = combos
+	if explored = int(next.Load()); explored > combos {
+		explored = combos
+	}
 
 	// Deterministic reduction over the canonical combination order.
 	var best *Plan

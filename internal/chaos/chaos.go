@@ -1,0 +1,251 @@
+// Package chaos is the deterministic seeded fault injector behind the
+// runtime's robustness story. LLM-PQ targets in-house heterogeneous
+// clusters whose spare GPUs are exactly the ones that get preempted,
+// fail, or straggle; the offline planner implicitly assumes the cluster
+// it planned for is the cluster it serves on. This package models the
+// ways that assumption breaks:
+//
+//   - KindCrash: a pipeline stage goes down at AtSec and (unless
+//     Permanent) comes back RecoverySec later via the §5 on-the-fly
+//     loader. Permanent crashes model device loss/preemption and are the
+//     trigger for internal/failover's replanning loop.
+//   - KindStraggler: a stage's compute slows by Factor for DurationSec
+//     (thermal throttling, a noisy neighbour, a background job).
+//   - KindSlowLink: the interconnect hop out of a stage slows by Factor
+//     for DurationSec (congestion, a flapping NIC).
+//   - KindKVAlloc: paged-KV allocations fail transiently with
+//     probability Factor for DurationSec (memory pressure in online
+//     serving; consumed by internal/online, ignored by the offline
+//     engine).
+//
+// Everything is explicit-seed deterministic: a Schedule is plain data,
+// and the Profile generator derives faults from a caller-supplied seed,
+// so a fault run reproduces byte-for-byte (the -chaos-seed contract of
+// llmpq-bench).
+package chaos
+
+import "fmt"
+
+// Kind discriminates fault types.
+type Kind int
+
+const (
+	// KindCrash takes a stage down at AtSec; it recovers after
+	// RecoverySec unless Permanent.
+	KindCrash Kind = iota
+	// KindStraggler multiplies a stage's compute time by Factor during
+	// [AtSec, AtSec+DurationSec).
+	KindStraggler
+	// KindSlowLink multiplies the transfer time of the edge leaving a
+	// stage (stage → stage+1, and the tail stage's return hop) by Factor
+	// during [AtSec, AtSec+DurationSec).
+	KindSlowLink
+	// KindKVAlloc makes paged-KV allocations fail with probability
+	// Factor during [AtSec, AtSec+DurationSec) — online serving only.
+	KindKVAlloc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindStraggler:
+		return "straggler"
+	case KindSlowLink:
+		return "slowlink"
+	case KindKVAlloc:
+		return "kvalloc"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind; see
+// the Kind constants.
+type Fault struct {
+	Kind  Kind
+	Stage int // pipeline stage (ignored by KindKVAlloc)
+	AtSec float64
+	// RecoverySec is the crash downtime (KindCrash, non-permanent).
+	RecoverySec float64
+	// Permanent marks a crash as unrecoverable device loss (KindCrash).
+	Permanent bool
+	// Factor is the slowdown multiplier (>= 1) for KindStraggler and
+	// KindSlowLink, or the failure probability in (0, 1] for KindKVAlloc.
+	Factor float64
+	// DurationSec is the fault window for the windowed kinds.
+	DurationSec float64
+}
+
+// EndSec returns when the fault stops acting: recovery for transient
+// crashes, window end for windowed kinds, +Inf never happens — permanent
+// crashes return AtSec (they act instantaneously and forever).
+func (f Fault) EndSec() float64 {
+	switch f.Kind {
+	case KindCrash:
+		if f.Permanent {
+			return f.AtSec
+		}
+		return f.AtSec + f.RecoverySec
+	default:
+		return f.AtSec + f.DurationSec
+	}
+}
+
+// activeAt reports whether a windowed fault covers virtual time t.
+func (f Fault) activeAt(t float64) bool {
+	return t >= f.AtSec && t < f.AtSec+f.DurationSec
+}
+
+// Validate checks one fault against a pipeline depth and an optional run
+// horizon (0 = unbounded).
+func (f Fault) Validate(stages int, horizonSec float64) error {
+	if f.Kind != KindKVAlloc && (f.Stage < 0 || f.Stage >= stages) {
+		return fmt.Errorf("chaos: %s fault stage %d out of [0,%d)", f.Kind, f.Stage, stages)
+	}
+	if f.AtSec < 0 {
+		return fmt.Errorf("chaos: %s fault at negative time %g", f.Kind, f.AtSec)
+	}
+	if horizonSec > 0 && f.AtSec > horizonSec {
+		return fmt.Errorf("chaos: %s fault at %.3fs is beyond the %.3fs run horizon", f.Kind, f.AtSec, horizonSec)
+	}
+	switch f.Kind {
+	case KindCrash:
+		if f.RecoverySec < 0 {
+			return fmt.Errorf("chaos: crash recovery %g is negative", f.RecoverySec)
+		}
+	case KindStraggler, KindSlowLink:
+		if f.Factor < 1 {
+			return fmt.Errorf("chaos: %s factor %g must be >= 1", f.Kind, f.Factor)
+		}
+		if f.DurationSec <= 0 {
+			return fmt.Errorf("chaos: %s duration %g must be positive", f.Kind, f.DurationSec)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: %s fault cannot be permanent", f.Kind)
+		}
+	case KindKVAlloc:
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("chaos: kvalloc failure probability %g outside (0,1]", f.Factor)
+		}
+		if f.DurationSec <= 0 {
+			return fmt.Errorf("chaos: kvalloc duration %g must be positive", f.DurationSec)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: kvalloc fault cannot be permanent")
+		}
+	default:
+		return fmt.Errorf("chaos: unknown fault kind %v", f.Kind)
+	}
+	return nil
+}
+
+// Schedule is a full fault plan for one serving run: plain data, fully
+// determined by its fields — replaying the same schedule reproduces the
+// same run byte-for-byte.
+type Schedule struct {
+	// Seed is the reproducibility handle: profile generation derives the
+	// faults from it, and consumers (online KV-failure draws, retry
+	// jitter) fold it into their own explicit seeds.
+	Seed int64
+	// HorizonSec, when positive, bounds fault start times: a fault
+	// scheduled past the horizon can never fire and is a configuration
+	// error, not a silent no-op.
+	HorizonSec float64
+	Faults     []Fault
+}
+
+// Validate checks every fault against the pipeline depth and the
+// schedule's own horizon, and enforces at most one permanent device loss
+// per schedule (the failover controller replans exactly once per loss;
+// cascading losses are a separate, future scenario).
+func (s *Schedule) Validate(stages int) error {
+	if s == nil {
+		return nil
+	}
+	if stages <= 0 {
+		return fmt.Errorf("chaos: schedule for %d stages", stages)
+	}
+	if s.HorizonSec < 0 {
+		return fmt.Errorf("chaos: negative horizon %g", s.HorizonSec)
+	}
+	perm := 0
+	for i, f := range s.Faults {
+		if err := f.Validate(stages, s.HorizonSec); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+		if f.Kind == KindCrash && f.Permanent {
+			perm++
+		}
+	}
+	if perm > 1 {
+		return fmt.Errorf("chaos: %d permanent device losses in one schedule (at most one supported)", perm)
+	}
+	return nil
+}
+
+// Permanent returns the schedule's permanent device-loss fault, if any.
+func (s *Schedule) Permanent() (Fault, bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == KindCrash && f.Permanent {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// ComputeMult returns the product of straggler factors active on a stage
+// at virtual time t (1 when none).
+func (s *Schedule) ComputeMult(stage int, t float64) float64 {
+	return s.multAt(KindStraggler, stage, t)
+}
+
+// CommMult returns the product of slow-link factors active on the edge
+// leaving a stage at virtual time t (1 when none).
+func (s *Schedule) CommMult(stage int, t float64) float64 {
+	return s.multAt(KindSlowLink, stage, t)
+}
+
+func (s *Schedule) multAt(kind Kind, stage int, t float64) float64 {
+	if s == nil {
+		return 1
+	}
+	mult := 1.0
+	for _, f := range s.Faults {
+		if f.Kind == kind && f.Stage == stage && f.activeAt(t) {
+			mult *= f.Factor
+		}
+	}
+	return mult
+}
+
+// KVFailProb returns the combined probability that a paged-KV allocation
+// fails at virtual time t: 1 − Π(1−pᵢ) over active KindKVAlloc windows.
+func (s *Schedule) KVFailProb(t float64) float64 {
+	if s == nil {
+		return 0
+	}
+	ok := 1.0
+	for _, f := range s.Faults {
+		if f.Kind == KindKVAlloc && f.activeAt(t) {
+			ok *= 1 - f.Factor
+		}
+	}
+	return 1 - ok
+}
+
+// HasKVFaults reports whether any KV-allocation fault is scheduled.
+func (s *Schedule) HasKVFaults() bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == KindKVAlloc {
+			return true
+		}
+	}
+	return false
+}

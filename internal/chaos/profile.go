@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Profile names understood by New (and llmpq-bench -chaos-profile).
+const (
+	ProfileCrash      = "crash"       // one transient stage crash
+	ProfilePermLoss   = "perm-loss"   // one permanent device loss mid-run
+	ProfileStragglers = "stragglers"  // two compute stragglers + one slow link
+	ProfileSlowLink   = "slow-link"   // one congested interconnect hop
+	ProfileKVPressure = "kv-pressure" // transient KV-allocation failures (online)
+	ProfileMixed      = "mixed"       // crash + straggler + slow link overlapping
+)
+
+// Profiles lists the known profile names, sorted.
+func Profiles() []string {
+	names := []string{
+		ProfileCrash, ProfilePermLoss, ProfileStragglers,
+		ProfileSlowLink, ProfileKVPressure, ProfileMixed,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named fault schedule for a pipeline of `stages` stages
+// and a run expected to last horizonSec. All fault placement (which
+// stage, when, how hard) derives from the explicit seed, so the same
+// (name, seed, stages, horizonSec) tuple always yields the identical
+// schedule. Fault start times land in the middle 60% of the horizon so
+// they hit a busy pipeline rather than the ramp-up or drain.
+func New(name string, seed int64, stages int, horizonSec float64) (*Schedule, error) {
+	if stages <= 0 {
+		return nil, fmt.Errorf("chaos: profile for %d stages", stages)
+	}
+	if horizonSec <= 0 {
+		return nil, fmt.Errorf("chaos: profile needs a positive horizon, got %g", horizonSec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// at draws a start time in [0.2, 0.8) of the horizon.
+	at := func() float64 { return horizonSec * (0.2 + 0.6*rng.Float64()) }
+	stage := func() int { return rng.Intn(stages) }
+	window := func() float64 { return horizonSec * (0.1 + 0.2*rng.Float64()) }
+
+	s := &Schedule{Seed: seed, HorizonSec: horizonSec}
+	switch name {
+	case ProfileCrash:
+		s.Faults = []Fault{{
+			Kind: KindCrash, Stage: stage(), AtSec: at(),
+			RecoverySec: horizonSec * (0.05 + 0.15*rng.Float64()),
+		}}
+	case ProfilePermLoss:
+		s.Faults = []Fault{{
+			Kind: KindCrash, Stage: stage(), AtSec: at(), Permanent: true,
+		}}
+	case ProfileStragglers:
+		s.Faults = []Fault{
+			{Kind: KindStraggler, Stage: stage(), AtSec: at(), Factor: 1.5 + 2*rng.Float64(), DurationSec: window()},
+			{Kind: KindStraggler, Stage: stage(), AtSec: at(), Factor: 1.5 + 2*rng.Float64(), DurationSec: window()},
+			{Kind: KindSlowLink, Stage: stage(), AtSec: at(), Factor: 2 + 3*rng.Float64(), DurationSec: window()},
+		}
+	case ProfileSlowLink:
+		s.Faults = []Fault{{
+			Kind: KindSlowLink, Stage: stage(), AtSec: at(),
+			Factor: 3 + 5*rng.Float64(), DurationSec: window(),
+		}}
+	case ProfileKVPressure:
+		s.Faults = []Fault{{
+			Kind: KindKVAlloc, AtSec: at(),
+			Factor: 0.3 + 0.4*rng.Float64(), DurationSec: window(),
+		}}
+	case ProfileMixed:
+		s.Faults = []Fault{
+			{Kind: KindCrash, Stage: stage(), AtSec: at(), RecoverySec: horizonSec * (0.05 + 0.1*rng.Float64())},
+			{Kind: KindStraggler, Stage: stage(), AtSec: at(), Factor: 1.5 + 1.5*rng.Float64(), DurationSec: window()},
+			{Kind: KindSlowLink, Stage: stage(), AtSec: at(), Factor: 2 + 2*rng.Float64(), DurationSec: window()},
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, Profiles())
+	}
+	if err := s.Validate(stages); err != nil {
+		return nil, fmt.Errorf("chaos: profile %q generated an invalid schedule: %w", name, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+)
+
+// MigrationInput sizes a failover migration: after a permanent device
+// loss, the replanned pipeline places some layers on different physical
+// devices, so their quantized weights (at the new plan's precision) and
+// the live KV state of every resident request must cross the
+// interconnect before serving resumes.
+type MigrationInput struct {
+	Cfg model.Config
+	// MovedLayerBits holds the new-plan bitwidth of each layer that lands
+	// on a different physical device than it occupied before the loss.
+	// Empty means nothing moves (zero cost).
+	MovedLayerBits []int
+	// GlobalBatch is the number of resident requests whose KV cache moves
+	// with the layers.
+	GlobalBatch int
+	// KVSeqLen is the per-request KV length to ship: prompt plus the
+	// completed-token watermark at the time of the loss.
+	KVSeqLen int
+	// KVBits is the KV-cache precision; 0 defaults to FP16.
+	KVBits int
+	// Link carries the traffic — conservatively the cluster's inter-node
+	// link, since a lost device forces cross-node reshuffling.
+	Link hardware.Link
+}
+
+// MigrationBreakdown itemizes the predicted migration cost.
+type MigrationBreakdown struct {
+	WeightBytes float64
+	KVBytes     float64
+	TotalBytes  float64
+	TransferSec float64
+}
+
+// MigrationCost predicts the downtime a failover migration adds: the
+// serialized transfer of moved quantized weights plus moved KV state over
+// the given link. It is deliberately pessimistic-simple (one link, no
+// overlap with compute) — the same spirit as the §4.1 memory model.
+func MigrationCost(in MigrationInput) (MigrationBreakdown, error) {
+	var br MigrationBreakdown
+	if len(in.MovedLayerBits) == 0 {
+		return br, nil
+	}
+	for i, b := range in.MovedLayerBits {
+		switch b {
+		case 3, 4, 8, 16:
+		default:
+			return br, fmt.Errorf("costmodel: migration layer %d has unsupported bitwidth %d", i, b)
+		}
+	}
+	if in.GlobalBatch <= 0 || in.KVSeqLen < 0 {
+		return br, fmt.Errorf("costmodel: migration batch %d / KV length %d invalid", in.GlobalBatch, in.KVSeqLen)
+	}
+	kv := in.KVBits
+	if kv == 0 {
+		kv = 16
+	}
+	for _, b := range in.MovedLayerBits {
+		br.WeightBytes += in.Cfg.LayerWeightBytes(b)
+		if in.KVSeqLen > 0 {
+			br.KVBytes += in.Cfg.KVBytesPerLayer(in.GlobalBatch, in.KVSeqLen, kv)
+		}
+	}
+	br.TotalBytes = br.WeightBytes + br.KVBytes
+	br.TransferSec = in.Link.TransferTime(br.TotalBytes)
+	return br, nil
+}

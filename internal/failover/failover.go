@@ -1,0 +1,242 @@
+// Package failover is the self-healing replanning loop on top of the
+// chaos fault model (DESIGN.md §10). LLM-PQ's offline planner assumes
+// the cluster it planned for is the cluster it serves on; when a device
+// is permanently lost mid-run (preemption, hardware failure), the
+// Controller closes the loop:
+//
+//  1. run the pipeline under the chaos schedule until it either finishes
+//     or halts with a runtime.DeviceLostError carrying the
+//     completed-token watermark;
+//  2. re-invoke assigner.Optimize on the reduced cluster (same workload,
+//     same quality target θ, same Parallelism), producing a degraded but
+//     valid plan — partition and quantization adapt to the surviving
+//     devices exactly as the paper's planner adapts to heterogeneity;
+//  3. cost the migration: every layer that lands on a different physical
+//     device re-ships its quantized weights (at the new plan's
+//     precision) plus the resident KV state over the interconnect
+//     (costmodel.MigrationCost);
+//  4. resume the pipeline from the watermark (runtime.Engine.StartRound)
+//     so no generated token is produced twice and none is lost.
+//
+// The whole loop is deterministic: same spec, plan, and chaos schedule
+// reproduce the same report byte-for-byte.
+package failover
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/assigner"
+	"repro/internal/chaos"
+	"repro/internal/costmodel"
+	"repro/internal/hardware"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+)
+
+// Metric families exported by the controller (DESIGN.md §10).
+const (
+	metricReplans        = "llmpq_failover_replans_total"
+	metricMovedLayers    = "llmpq_failover_moved_layers"
+	metricMigrationBytes = "llmpq_failover_migration_bytes"
+	metricMigrationSecs  = "llmpq_failover_migration_seconds"
+	metricResumeRound    = "llmpq_failover_resume_round"
+)
+
+// Report summarizes one fault-tolerant serving run.
+type Report struct {
+	// Replanned is false when the run finished without a permanent loss
+	// (First carries the stats; the migration fields are zero).
+	Replanned bool
+	// First is the initial run: the complete run when !Replanned,
+	// otherwise the partial stats are unavailable (the engine halts) and
+	// only Lost describes it.
+	First rt.Stats
+	// Lost is the device-loss event that triggered the replan (nil when
+	// !Replanned).
+	Lost *rt.DeviceLostError
+	// LostDevice names the physical device that died.
+	LostDevice string
+	// DegradedPlan is the plan Optimize produced on the reduced cluster.
+	DegradedPlan *assigner.Plan
+	// MovedLayers counts layers shipped to a different physical device.
+	MovedLayers int
+	// Migration itemizes the re-shipping cost.
+	Migration costmodel.MigrationBreakdown
+	// Resumed is the watermark-resumed run on the degraded plan.
+	Resumed rt.Stats
+	// TotalTokens is the end-to-end generated-token count: durable tokens
+	// at the loss plus the resumed run's output. Equals the no-fault
+	// run's TokensOut — nothing is lost, nothing is double-counted.
+	TotalTokens int
+	// TotalLatencySec = loss time + migration transfer + resumed latency.
+	TotalLatencySec float64
+}
+
+// Controller reacts to permanent device loss by replanning on the
+// reduced cluster and resuming from the completed-token watermark.
+type Controller struct {
+	Spec  *assigner.Spec
+	Plan  *assigner.Plan
+	Timer assigner.LayerTimer
+	// Obs receives the engine's metrics plus the llmpq_failover_* family;
+	// nil runs uninstrumented.
+	Obs *obs.Registry
+	// Spans, when non-nil, records engine task spans plus one migration
+	// span covering the replan-and-reship window.
+	Spans *obs.SpanRecorder
+}
+
+// Run executes the pipeline under the chaos schedule, self-healing
+// through at most one permanent device loss (chaos.Schedule.Validate
+// enforces the at-most-one invariant).
+func (c *Controller) Run(sched *chaos.Schedule) (Report, error) {
+	eng := &rt.Engine{Spec: c.Spec, Plan: c.Plan, Timer: c.Timer, Chaos: sched, Obs: c.Obs, Spans: c.Spans}
+	stats, err := eng.Run()
+	if err == nil {
+		return Report{First: stats, TotalTokens: stats.TokensOut, TotalLatencySec: stats.LatencySec}, nil
+	}
+	var lost *rt.DeviceLostError
+	if !errors.As(err, &lost) {
+		return Report{}, err
+	}
+	return c.replan(lost)
+}
+
+// replan rebuilds the pipeline after a permanent device loss and resumes
+// it from the watermark.
+func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
+	s := c.Spec
+	rep := Report{Replanned: true, Lost: lost}
+	rep.LostDevice = s.Cluster.Devices[lost.Device].GPU.Name
+
+	reduced, oldID, err := removeDevice(s.Cluster, lost.Device)
+	if err != nil {
+		return Report{}, err
+	}
+	degraded := *s
+	degraded.Cluster = reduced
+	res, err := assigner.Optimize(&degraded, c.Timer)
+	if err != nil {
+		return Report{}, fmt.Errorf("failover: no feasible degraded plan on %d surviving devices: %w",
+			reduced.NumDevices(), err)
+	}
+	rep.DegradedPlan = res.Plan
+
+	// Layers whose physical home changed must migrate: quantized weights
+	// at the new plan's precision, plus each resident request's KV state
+	// up to the watermark (none when prefill had not completed — the
+	// resumed run re-prefills from scratch).
+	oldHome := layerHomes(c.Plan, s.Cfg.Layers, nil)
+	newHome := layerHomes(res.Plan, s.Cfg.Layers, oldID)
+	newBits := res.Plan.LayerBits(s.Cfg.Layers)
+	var movedBits []int
+	for l := 0; l < s.Cfg.Layers; l++ {
+		if newHome[l] != oldHome[l] {
+			movedBits = append(movedBits, newBits[l])
+		}
+	}
+	rep.MovedLayers = len(movedBits)
+	kvSeq := 0
+	if lost.PrefillDone {
+		kvSeq = s.Work.Prompt + lost.Watermark
+	}
+	rep.Migration, err = costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: s.Cfg, MovedLayerBits: movedBits, GlobalBatch: s.Work.GlobalBatch,
+		KVSeqLen: kvSeq, KVBits: s.KVBits, Link: s.Cluster.InterNode,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	c.observe(&rep)
+
+	start := 0
+	if lost.PrefillDone {
+		start = lost.Watermark
+	}
+	eng := &rt.Engine{Spec: &degraded, Plan: res.Plan, Timer: c.Timer, StartRound: start, Obs: c.Obs, Spans: c.Spans}
+	rep.Resumed, err = eng.Run()
+	if err != nil {
+		return Report{}, fmt.Errorf("failover: resumed run failed: %w", err)
+	}
+	durable := lost.DurableTokens
+	if !lost.PrefillDone {
+		durable = 0
+	}
+	rep.TotalTokens = durable + rep.Resumed.TokensOut
+	rep.TotalLatencySec = lost.AtSec + rep.Migration.TransferSec + rep.Resumed.LatencySec
+	return rep, nil
+}
+
+// observe exports the llmpq_failover_* metrics and the migration span.
+func (c *Controller) observe(rep *Report) {
+	if c.Obs != nil {
+		c.Obs.Counter(metricReplans).Inc()
+		c.Obs.Gauge(metricMovedLayers).Set(float64(rep.MovedLayers))
+		c.Obs.Gauge(metricMigrationBytes).Set(rep.Migration.TotalBytes)
+		c.Obs.Gauge(metricMigrationSecs).Set(rep.Migration.TransferSec)
+		round := 0
+		if rep.Lost.PrefillDone {
+			round = rep.Lost.Watermark
+		}
+		c.Obs.Gauge(metricResumeRound).Set(float64(round))
+	}
+	if c.Spans != nil {
+		c.Spans.Record(obs.Span{
+			Name: "migrate", Cat: "failover", TID: rep.Lost.Stage,
+			Start: rep.Lost.AtSec, Dur: rep.Migration.TransferSec,
+			Args: map[string]string{
+				"moved_layers": fmt.Sprintf("%d", rep.MovedLayers),
+				"bytes":        fmt.Sprintf("%.0f", rep.Migration.TotalBytes),
+			},
+		})
+	}
+}
+
+// removeDevice returns a copy of the cluster without the given device,
+// surviving devices reindexed to contiguous IDs (node placement
+// preserved), plus the newID→oldID mapping.
+func removeDevice(c hardware.Cluster, dev int) (hardware.Cluster, []int, error) {
+	if dev < 0 || dev >= len(c.Devices) {
+		return hardware.Cluster{}, nil, fmt.Errorf("failover: device %d out of [0,%d)", dev, len(c.Devices))
+	}
+	if len(c.Devices) < 2 {
+		return hardware.Cluster{}, nil, fmt.Errorf("failover: cannot lose the only device")
+	}
+	out := hardware.Cluster{
+		Name: c.Name + "-degraded", InterNode: c.InterNode, ModelName: c.ModelName,
+	}
+	var oldID []int
+	for _, d := range c.Devices {
+		if d.ID == dev {
+			continue
+		}
+		oldID = append(oldID, d.ID)
+		d.ID = len(out.Devices)
+		out.Devices = append(out.Devices, d)
+	}
+	return out, oldID, nil
+}
+
+// layerHomes maps each model layer to the physical device serving it
+// under a plan. idMap, when non-nil, translates the plan's device
+// indices (into a reduced cluster) back to original physical IDs.
+func layerHomes(p *assigner.Plan, layers int, idMap []int) []int {
+	home := make([]int, layers)
+	g := p.Group
+	if g <= 1 {
+		g = 1
+	}
+	for j := 0; j < p.NumStages(); j++ {
+		dev := p.Order[j]
+		if idMap != nil {
+			dev = idMap[dev]
+		}
+		for grp := p.Boundaries[j]; grp < p.Boundaries[j+1]; grp++ {
+			for l := grp * g; l < (grp+1)*g && l < layers; l++ {
+				home[l] = dev
+			}
+		}
+	}
+	return home
+}

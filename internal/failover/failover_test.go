@@ -1,0 +1,211 @@
+package failover
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/hardware"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+)
+
+// table3Spec plans the paper's cluster 3 (3×T4 + V100 serving OPT-30B)
+// — the acceptance scenario for permanent device loss.
+func table3Spec(t *testing.T) (*assigner.Spec, *assigner.Plan) {
+	t.Helper()
+	spec, err := core.BuildSpec(core.Request{
+		ClusterID:   3,
+		GlobalBatch: 8,
+		PromptLen:   128,
+		Generate:    16,
+		Theta:       0.1,
+		Group:       6,
+		Method:      assigner.MethodDP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := assigner.Optimize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, res.Plan
+}
+
+// TestFailoverTable3PermanentLoss is the headline acceptance scenario:
+// lose a device mid-run on a Table-3 cluster, replan on the survivors,
+// resume from the watermark, and finish every token.
+func TestFailoverTable3PermanentLoss(t *testing.T) {
+	spec, plan := table3Spec(t)
+	clean, err := (&rt.Engine{Spec: spec, Plan: plan, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() Report {
+		reg := obs.NewRegistry()
+		ctl := &Controller{Spec: spec, Plan: plan, Timer: assigner.ProfilerTimer{}, Obs: reg}
+		sched := &chaos.Schedule{Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, Stage: 1, AtSec: clean.LatencySec * 0.6, Permanent: true},
+		}}
+		rep, err := ctl.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("llmpq_failover_replans_total").Value(); got != 1 {
+			t.Errorf("replans counter %.0f, want 1", got)
+		}
+		return rep
+	}
+	rep := run()
+	if !rep.Replanned || rep.Lost == nil {
+		t.Fatal("expected a replan")
+	}
+	// The degraded plan must be valid for the reduced cluster: same spec
+	// with the surviving devices (memory constraints are part of the
+	// solve; Validate re-checks structure + stage memory fit).
+	degraded := *spec
+	reduced, _, err := removeDevice(spec.Cluster, rep.Lost.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded.Cluster = reduced
+	if err := rep.DegradedPlan.Validate(&degraded); err != nil {
+		t.Errorf("degraded plan invalid: %v", err)
+	}
+	if rep.DegradedPlan.NumStages() != spec.Cluster.NumDevices()-1 {
+		t.Errorf("degraded plan has %d stages, want %d", rep.DegradedPlan.NumStages(), spec.Cluster.NumDevices()-1)
+	}
+	// Token conservation: the failover run generates exactly the no-fault
+	// total — nothing lost, nothing double-counted.
+	if rep.TotalTokens != clean.TokensOut {
+		t.Errorf("total tokens %d, want %d (clean run)", rep.TotalTokens, clean.TokensOut)
+	}
+	if rep.TotalLatencySec <= clean.LatencySec {
+		t.Errorf("failover latency %.4f not above clean %.4f", rep.TotalLatencySec, clean.LatencySec)
+	}
+	if rep.MovedLayers <= 0 || rep.Migration.TransferSec <= 0 {
+		t.Errorf("migration empty: %d layers, %.4f s", rep.MovedLayers, rep.Migration.TransferSec)
+	}
+	// Byte-for-byte repeatability of the whole report.
+	if again := run(); !reflect.DeepEqual(rep, again) {
+		t.Errorf("failover run not deterministic:\nfirst: %+v\nagain: %+v", rep, again)
+	}
+}
+
+// TestFailoverCleanRunPassesThrough: without a permanent fault the
+// controller reports the plain run.
+func TestFailoverCleanRunPassesThrough(t *testing.T) {
+	spec, plan := table3Spec(t)
+	ctl := &Controller{Spec: spec, Plan: plan, Timer: assigner.ProfilerTimer{}}
+	rep, err := ctl.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replanned || rep.Lost != nil {
+		t.Error("clean run must not replan")
+	}
+	if rep.TotalTokens != rep.First.TokensOut || rep.TotalTokens == 0 {
+		t.Errorf("pass-through tokens %d vs %d", rep.TotalTokens, rep.First.TokensOut)
+	}
+}
+
+// TestFailoverPrefillIncompleteLoss: a loss before prefill completes has
+// no durable tokens — the resumed run re-executes from scratch and the
+// migration ships weights only.
+func TestFailoverPrefillIncompleteLoss(t *testing.T) {
+	spec, plan := table3Spec(t)
+	ctl := &Controller{Spec: spec, Plan: plan, Timer: assigner.ProfilerTimer{}}
+	rep, err := ctl.Run(&chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.KindCrash, Stage: 0, AtSec: 1e-4, Permanent: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replanned {
+		t.Fatal("expected a replan")
+	}
+	if rep.Lost.PrefillDone || rep.Lost.Watermark != 0 {
+		t.Fatalf("loss at t≈0 must precede prefill: %+v", rep.Lost)
+	}
+	if rep.Migration.KVBytes != 0 {
+		t.Errorf("no KV to migrate before prefill, got %.0f bytes", rep.Migration.KVBytes)
+	}
+	clean, err := (&rt.Engine{Spec: spec, Plan: plan, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalTokens != clean.TokensOut {
+		t.Errorf("total tokens %d, want %d", rep.TotalTokens, clean.TokensOut)
+	}
+}
+
+func TestRemoveDevice(t *testing.T) {
+	c := hardware.Clusters[3] // 3×T4 + V100
+	out, oldID, err := removeDevice(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDevices() != 3 {
+		t.Fatalf("surviving devices %d, want 3", out.NumDevices())
+	}
+	wantOld := []int{0, 2, 3}
+	if !reflect.DeepEqual(oldID, wantOld) {
+		t.Errorf("oldID map %v, want %v", oldID, wantOld)
+	}
+	for i, d := range out.Devices {
+		if d.ID != i {
+			t.Errorf("device %d reindexed to %d", i, d.ID)
+		}
+		if want := c.Devices[wantOld[i]].Node; d.Node != want {
+			t.Errorf("device %d node %d, want %d", i, d.Node, want)
+		}
+	}
+	if !strings.HasSuffix(out.Name, "-degraded") {
+		t.Errorf("degraded cluster name %q", out.Name)
+	}
+	if _, _, err := removeDevice(c, 9); err == nil {
+		t.Error("out-of-range device must fail")
+	}
+	single := hardware.Clusters[1]
+	if _, _, err := removeDevice(single, 0); err == nil {
+		t.Error("losing the only device must fail")
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	spec, _ := table3Spec(t)
+	br, err := costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: spec.Cfg, MovedLayerBits: []int{4, 4, 8}, GlobalBatch: 8,
+		KVSeqLen: 144, Link: spec.Cluster.InterNode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.WeightBytes <= 0 || br.KVBytes <= 0 || br.TransferSec <= 0 {
+		t.Errorf("degenerate breakdown: %+v", br)
+	}
+	if br.TotalBytes != br.WeightBytes+br.KVBytes {
+		t.Errorf("total %.0f != %.0f + %.0f", br.TotalBytes, br.WeightBytes, br.KVBytes)
+	}
+	// Zero moved layers = zero cost, no error.
+	zero, err := costmodel.MigrationCost(costmodel.MigrationInput{Cfg: spec.Cfg})
+	if err != nil || zero.TotalBytes != 0 {
+		t.Errorf("empty migration: %+v, %v", zero, err)
+	}
+	if _, err := costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: spec.Cfg, MovedLayerBits: []int{5}, GlobalBatch: 8, KVSeqLen: 10,
+	}); err == nil {
+		t.Error("bitwidth 5 must be rejected")
+	}
+	if _, err := costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: spec.Cfg, MovedLayerBits: []int{4}, GlobalBatch: 0, KVSeqLen: 10,
+	}); err == nil {
+		t.Error("zero batch must be rejected")
+	}
+}

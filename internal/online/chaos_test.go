@@ -1,0 +1,185 @@
+package online
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core/retry"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// kvPressure builds a schedule whose KV-allocation failures cover the
+// whole run with probability p.
+func kvPressure(p float64) *chaos.Schedule {
+	return &chaos.Schedule{Seed: 99, Faults: []chaos.Fault{
+		{Kind: chaos.KindKVAlloc, AtSec: 0, Factor: p, DurationSec: 1e6},
+	}}
+}
+
+// TestKVRetriesSufficientNoLoss: with moderate failure probability and
+// the default retry budget, every admission eventually succeeds — the
+// run finishes with retries spent but zero requests shed.
+func TestKVRetriesSufficientNoLoss(t *testing.T) {
+	c := baseConfig()
+	c.Chaos = kvPressure(0.3)
+	c.Retry = retry.Policy{MaxAttempts: 20, BaseDelaySec: 0.001, Factor: 2, MaxDelaySec: 0.05, JitterFrac: 0.2}
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KVFailures == 0 {
+		t.Fatal("pressure schedule never failed an allocation — test is vacuous")
+	}
+	if st.KVRetries == 0 {
+		t.Error("no retries recorded despite failures")
+	}
+	if st.Shed != 0 {
+		t.Errorf("%d requests shed although the retry budget covers p=0.3", st.Shed)
+	}
+	if st.Completed == 0 {
+		t.Error("nothing completed")
+	}
+	// Zero lost requests: everything that was never rejected completed
+	// or was still queued at sim end.
+	base, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected > base.Rejected {
+		t.Errorf("chaos run rejected %d > baseline %d", st.Rejected, base.Rejected)
+	}
+}
+
+// TestKVRetriesExhaustedSheds: with certain failure and a tiny retry
+// budget, admissions must shed (and count as rejects) instead of
+// deadlocking the admission loop; once the window closes, later
+// arrivals admit and complete normally.
+func TestKVRetriesExhaustedSheds(t *testing.T) {
+	c := baseConfig()
+	c.Chaos = &chaos.Schedule{Seed: 99, Faults: []chaos.Fault{
+		{Kind: chaos.KindKVAlloc, AtSec: 0, Factor: 1.0, DurationSec: 10},
+	}}
+	c.Retry = retry.Policy{MaxAttempts: 2, BaseDelaySec: 0.001, Factor: 2}
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == 0 {
+		t.Fatal("certain failure must shed")
+	}
+	if st.Rejected < st.Shed {
+		t.Errorf("shed requests must count as rejected: shed %d, rejected %d", st.Shed, st.Rejected)
+	}
+	if st.Completed == 0 {
+		t.Error("arrivals after the window must still complete")
+	}
+}
+
+// TestKVChaosDeterministic: same seeds, same stats, byte for byte.
+func TestKVChaosDeterministic(t *testing.T) {
+	mk := func() Config {
+		c := baseConfig()
+		c.Chaos = kvPressure(0.4)
+		c.ShedDepth = 8
+		return c
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("chaos online run not reproducible:\na: %+v\nb: %+v", a, b)
+	}
+}
+
+// TestLoadSheddingBoundsQueue: a tight shed watermark under overload
+// drops the excess instead of queueing it unboundedly.
+func TestLoadSheddingBoundsQueue(t *testing.T) {
+	c := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 16,
+		Arrival: 30, Duration: 10, MaxNew: 64, MaxBatch: 4, Seed: 7,
+		ShedDepth: 4,
+	}
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == 0 {
+		t.Fatal("overload with ShedDepth 4 never shed")
+	}
+	if st.Rejected < st.Shed {
+		t.Errorf("shed %d not included in rejected %d", st.Shed, st.Rejected)
+	}
+	if st.Completed == 0 {
+		t.Error("shedding must not starve the admitted requests")
+	}
+}
+
+// TestBitwidthDownshift: sustained KV pressure with the fallback enabled
+// drops the precision ladder and grows the pool.
+func TestBitwidthDownshift(t *testing.T) {
+	c := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 16,
+		Arrival: 30, Duration: 20, MaxNew: 64, MaxBatch: 64, Seed: 7,
+		Downshift: true,
+	}
+	reg := obs.NewRegistry()
+	c.Obs = reg
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Downshifts == 0 {
+		t.Fatal("sustained overload never downshifted")
+	}
+	if st.FinalBits >= 16 {
+		t.Errorf("final bits %d, want < 16", st.FinalBits)
+	}
+	if st.FinalKVTok <= st.KVCapacityTok {
+		t.Errorf("downshift must grow the pool: %d -> %d", st.KVCapacityTok, st.FinalKVTok)
+	}
+	if got := reg.Counter("llmpq_online_downshifts_total", obs.L("bits", "16")).Value(); int(got) != st.Downshifts {
+		t.Errorf("downshift counter %.0f, want %d", got, st.Downshifts)
+	}
+	if got := reg.Gauge("llmpq_online_bits").Value(); int(got) != st.FinalBits {
+		t.Errorf("bits gauge %.0f, want %d", got, st.FinalBits)
+	}
+
+	// The same config without the fallback keeps its precision.
+	c2 := c
+	c2.Obs = nil
+	c2.Downshift = false
+	st2, err := Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Downshifts != 0 || st2.FinalBits != 16 {
+		t.Errorf("fallback disabled but shifted: %+v", st2)
+	}
+}
+
+// TestChaosConfigValidation covers the new knobs' error paths.
+func TestChaosConfigValidation(t *testing.T) {
+	c := baseConfig()
+	c.ShedDepth = -1
+	if _, err := Run(c); err == nil {
+		t.Error("negative shed depth must fail")
+	}
+	c = baseConfig()
+	c.Chaos = &chaos.Schedule{Faults: []chaos.Fault{{Kind: chaos.KindKVAlloc, AtSec: 0, Factor: 2, DurationSec: 1}}}
+	if _, err := Run(c); err == nil {
+		t.Error("invalid chaos schedule must fail")
+	}
+	c = baseConfig()
+	c.Retry = retry.Policy{MaxAttempts: 2, Factor: 0.1}
+	if _, err := Run(c); err == nil {
+		t.Error("invalid retry policy must fail")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/chaos"
+	"repro/internal/core/retry"
 	"repro/internal/hardware"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -37,6 +39,12 @@ const (
 	metricAdmitted    = "llmpq_online_admitted_total"
 	metricCompleted   = "llmpq_online_completed_total"
 	metricRejected    = "llmpq_online_rejected_total"
+	// Graceful degradation under chaos (DESIGN.md §10).
+	metricKVFailures = "llmpq_online_kv_alloc_failures_total"
+	metricKVRetries  = "llmpq_online_kv_retries_total"
+	metricShed       = "llmpq_online_shed_total"
+	metricDownshifts = "llmpq_online_downshifts_total"
+	metricBits       = "llmpq_online_bits"
 )
 
 // onlineObs pre-resolves the simulator's metric series; nil = no-op.
@@ -50,6 +58,11 @@ type onlineObs struct {
 	admitted   *obs.Counter
 	completed  *obs.Counter
 	rejected   *obs.Counter
+	kvFailures *obs.Counter
+	kvRetries  *obs.Counter
+	shedTotal  *obs.Counter
+	downshifts *obs.Counter
+	bitsGauge  *obs.Gauge
 }
 
 func newOnlineObs(r *obs.Registry, bits int, kvTokens int) *onlineObs {
@@ -67,8 +80,14 @@ func newOnlineObs(r *obs.Registry, bits int, kvTokens int) *onlineObs {
 		admitted:   r.Counter(metricAdmitted, bl),
 		completed:  r.Counter(metricCompleted, bl),
 		rejected:   r.Counter(metricRejected, bl),
+		kvFailures: r.Counter(metricKVFailures, bl),
+		kvRetries:  r.Counter(metricKVRetries, bl),
+		shedTotal:  r.Counter(metricShed, bl),
+		downshifts: r.Counter(metricDownshifts, bl),
+		bitsGauge:  r.Gauge(metricBits),
 	}
 	o.kvCap.Set(float64(kvTokens))
+	o.bitsGauge.Set(float64(bits))
 	return o
 }
 
@@ -108,6 +127,39 @@ func (o *onlineObs) reject() {
 	o.rejected.Inc()
 }
 
+// kvFail counts one transient KV-allocation failure and, when it was not
+// the first attempt, the retry that hit it.
+func (o *onlineObs) kvFail(attempt int) {
+	if o == nil {
+		return
+	}
+	o.kvFailures.Inc()
+	if attempt > 1 {
+		o.kvRetries.Inc()
+	}
+}
+
+// shed counts a request dropped by graceful degradation (retry
+// exhaustion or queue-depth load shedding); shed requests also count as
+// rejected so downstream dashboards keep a single loss family.
+func (o *onlineObs) shed() {
+	if o == nil {
+		return
+	}
+	o.shedTotal.Inc()
+	o.rejected.Inc()
+}
+
+// downshift records a weight-precision drop under memory pressure.
+func (o *onlineObs) downshift(bits, kvTokens int) {
+	if o == nil {
+		return
+	}
+	o.downshifts.Inc()
+	o.bitsGauge.Set(float64(bits))
+	o.kvCap.Set(float64(kvTokens))
+}
+
 // Config describes one online-serving simulation.
 type Config struct {
 	GPU      hardware.GPU
@@ -123,6 +175,27 @@ type Config struct {
 	// DESIGN.md §8). Nil keeps the simulation uninstrumented; results are
 	// identical either way.
 	Obs *obs.Registry
+
+	// Chaos, when non-nil, injects the schedule's KindKVAlloc faults:
+	// paged-KV allocations fail with the schedule's probability inside
+	// each fault window. Other fault kinds are ignored here (they target
+	// the pipeline engine). Draws come from an explicit rng seeded by
+	// (Seed, Chaos.Seed), so fault runs replay byte-for-byte.
+	Chaos *chaos.Schedule
+	// Retry bounds the per-admission retry loop on transient KV failures.
+	// The zero value selects retry.Default(). Backoff advances simulated
+	// time (the admission stalls the engine), never the wall clock.
+	Retry retry.Policy
+	// ShedDepth, when positive, load-sheds: arrived-but-waiting requests
+	// beyond this depth are dropped (counted as shed and rejected)
+	// instead of queueing unboundedly. 0 disables shedding.
+	ShedDepth int
+	// Downshift enables the bitwidth fallback under sustained memory
+	// pressure: when the KV pool stays >90% occupied with requests
+	// waiting, weights requantize one step down the 16→8→4→3 ladder,
+	// growing the pool at a one-off requantization stall (§7 trade-off,
+	// inverted: spend kernel speed to buy KV memory).
+	Downshift bool
 }
 
 // Validate checks the configuration.
@@ -138,7 +211,30 @@ func (c Config) Validate() error {
 	if c.MaxBatch <= 0 {
 		return fmt.Errorf("online: max batch must be positive")
 	}
+	if c.ShedDepth < 0 {
+		return fmt.Errorf("online: negative shed depth %d", c.ShedDepth)
+	}
+	if c.Chaos != nil {
+		// The online simulator is single-stage; only stage-0 (and
+		// stage-free KV) faults make sense.
+		if err := c.Chaos.Validate(1); err != nil {
+			return err
+		}
+	}
+	if c.Retry.MaxAttempts != 0 {
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// retryPolicy resolves the effective retry policy.
+func (c Config) retryPolicy() retry.Policy {
+	if c.Retry.MaxAttempts == 0 {
+		return retry.Default()
+	}
+	return c.Retry
 }
 
 // Stats summarizes a simulation.
@@ -151,6 +247,13 @@ type Stats struct {
 	MeanBatch     float64 // average concurrent batch while serving
 	KVCapacityTok int     // paged-KV capacity in tokens
 	Rejected      int     // arrivals the queue never admitted before sim end
+	// Graceful-degradation accounting (zero without chaos/shedding).
+	Shed       int // requests dropped by retry exhaustion or load shedding
+	KVFailures int // transient KV-allocation failures observed
+	KVRetries  int // retries spent recovering from them
+	Downshifts int // bitwidth drops under sustained memory pressure
+	FinalBits  int // weight precision at simulation end
+	FinalKVTok int // KV capacity at simulation end (grows on downshift)
 }
 
 type request struct {
@@ -159,6 +262,7 @@ type request struct {
 	done   int // tokens generated so far
 	start  float64
 	finish float64
+	shed   bool
 }
 
 // Run simulates the configured workload.
@@ -168,21 +272,34 @@ func Run(c Config) (Stats, error) {
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 
-	// Memory budget: weights at Bits + working set; the remainder is the
-	// paged KV pool (vLLM's core resource).
-	var weights float64
-	for i := 0; i < c.Model.Layers; i++ {
-		weights += c.Model.LayerWeightBytes(c.Bits)
+	// Memory budget: weights at the current precision + working set; the
+	// remainder is the paged KV pool (vLLM's core resource). Recomputed on
+	// bitwidth downshift, where shrinking weights grows the pool.
+	perTok := c.Model.KVBytesPerLayer(1, 1, profiler.KVBits) * float64(c.Model.Layers)
+	poolFor := func(bits int) (weights float64, kvTokens int) {
+		for i := 0; i < c.Model.Layers; i++ {
+			weights += c.Model.LayerWeightBytes(bits)
+		}
+		weights += c.Model.EmbedBytes() + c.Model.LMHeadBytes()
+		work := 0.08 * c.GPU.MemoryBytes() // activations + allocator slack
+		return weights, int((c.GPU.MemoryBytes() - weights - work) / perTok)
 	}
-	weights += c.Model.EmbedBytes() + c.Model.LMHeadBytes()
-	work := 0.08 * c.GPU.MemoryBytes() // activations + allocator slack
-	kvPool := c.GPU.MemoryBytes() - weights - work
-	if kvPool <= 0 {
+	bits := c.Bits
+	weights, kvTokens := poolFor(bits)
+	if kvTokens <= 0 {
 		return Stats{}, fmt.Errorf("online: %s at %d-bit leaves no KV memory on %s", c.Model.Name, c.Bits, c.GPU.Name)
 	}
-	perTok := c.Model.KVBytesPerLayer(1, 1, profiler.KVBits) * float64(c.Model.Layers)
-	kvTokens := int(kvPool / perTok)
 	oo := newOnlineObs(c.Obs, c.Bits, kvTokens)
+
+	// Chaos: transient KV-allocation failures, retried with deterministic
+	// jittered backoff that stalls simulated time.
+	kvChaos := c.Chaos.HasKVFaults()
+	var kvRng *rand.Rand
+	if kvChaos {
+		kvRng = rand.New(rand.NewSource(c.Seed ^ c.Chaos.Seed ^ 0x6b76616c6c6f63)) // "kvalloc"
+	}
+	policy := c.retryPolicy()
+	var st Stats
 
 	// Arrivals.
 	var queue []*request
@@ -201,21 +318,76 @@ func Run(c Config) (Stats, error) {
 	qi := 0
 
 	kvNeed := func(r *request) int { return r.prompt + c.MaxNew }
+	// kvAlloc reserves a request's pages, riding out transient chaos
+	// failures with bounded backoff (which stalls simulated time). False
+	// means the retries were exhausted and the request must be shed.
+	kvAlloc := func(r *request, idx int) bool {
+		if !kvChaos {
+			return true
+		}
+		err := policy.Do(c.Seed+int64(idx), func(attempt int) error {
+			p := c.Chaos.KVFailProb(now)
+			if p > 0 && kvRng.Float64() < p {
+				st.KVFailures++
+				oo.kvFail(attempt)
+				return fmt.Errorf("online: transient KV allocation failure")
+			}
+			if attempt > 1 {
+				st.KVRetries++
+			}
+			return nil
+		}, func(delaySec float64) { now += delaySec })
+		return err == nil
+	}
+	shedReq := func(r *request) {
+		r.shed = true
+		r.finish = -1
+		st.Shed++
+		oo.shed()
+	}
+	// shedExcess drops arrived-but-waiting requests beyond the watermark
+	// (newest first go, FIFO order for the survivors).
+	shedExcess := func() {
+		if c.ShedDepth <= 0 {
+			return
+		}
+		waiting := 0
+		for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
+			if queue[k].shed {
+				continue
+			}
+			waiting++
+			if waiting > c.ShedDepth {
+				shedReq(queue[k])
+			}
+		}
+	}
 	admit := func() {
 		for qi < len(queue) && len(running) < c.MaxBatch {
 			r := queue[qi]
+			if r.shed {
+				qi++
+				continue
+			}
 			if r.arrive > now {
 				break
 			}
 			if usedTok+kvNeed(r) > kvTokens {
 				break // head-of-line blocking on KV pages
 			}
+			if !kvAlloc(r, qi) {
+				// Retries exhausted under memory-pressure chaos: shed
+				// rather than block the admission queue forever.
+				shedReq(r)
+				qi++
+				continue
+			}
 			usedTok += kvNeed(r)
 			oo.admit()
 			r.start = now
 			// Prefill cost charged on admission.
 			pre, _ := profiler.LayerTime(c.GPU, c.Model, profiler.Workload{
-				Batch: 1, Prompt: r.prompt, Prefill: true, Bits: c.Bits,
+				Batch: 1, Prompt: r.prompt, Prefill: true, Bits: bits,
 			})
 			now += pre * float64(c.Model.Layers)
 			running = append(running, r)
@@ -223,23 +395,48 @@ func Run(c Config) (Stats, error) {
 		}
 	}
 
+	// waitingNow counts arrived-but-unadmitted (and unshed) requests.
+	waitingNow := func() int {
+		waiting := 0
+		for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
+			if !queue[k].shed {
+				waiting++
+			}
+		}
+		return waiting
+	}
+
+	st.KVCapacityTok = kvTokens
+	// Sustained-pressure window before a precision downshift fires.
+	const downshiftAfter = 25
+	hot := 0
+
 	const maxSteps = 5_000_000
 	steps := 0
 	for {
 		// Jump to the next arrival when idle.
 		if len(running) == 0 {
+			for qi < len(queue) && queue[qi].shed {
+				qi++
+			}
 			if qi >= len(queue) {
 				break
 			}
 			if queue[qi].arrive > now {
 				now = queue[qi].arrive
 			}
+			shedExcess()
 			admit()
 			if len(running) == 0 {
-				// KV pool cannot fit even one request: reject it.
-				queue[qi].finish = -1
-				oo.reject()
-				qi++
+				for qi < len(queue) && queue[qi].shed {
+					qi++
+				}
+				if qi < len(queue) && queue[qi].arrive <= now {
+					// KV pool cannot fit even one request: reject it.
+					queue[qi].finish = -1
+					oo.reject()
+					qi++
+				}
 				continue
 			}
 		}
@@ -248,17 +445,13 @@ func Run(c Config) (Stats, error) {
 		b := len(running)
 		batchSamples = append(batchSamples, float64(b))
 		if oo != nil {
-			waiting := 0
-			for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
-				waiting++
-			}
-			oo.step(b, waiting, usedTok, kvTokens)
+			oo.step(b, waitingNow(), usedTok, kvTokens)
 		}
 		ctx := 0
 		for _, r := range running {
 			ctx += r.prompt + r.done
 		}
-		stepW := profiler.Workload{Batch: b, Prompt: 512, Context: ctx / b, Bits: c.Bits}
+		stepW := profiler.Workload{Batch: b, Prompt: 512, Context: ctx / b, Bits: bits}
 		lt, err := profiler.LayerTime(c.GPU, c.Model, stepW)
 		if err != nil {
 			return Stats{}, err
@@ -277,6 +470,28 @@ func Run(c Config) (Stats, error) {
 			}
 		}
 		running = keep
+		// Graceful degradation: sustained high KV occupancy with requests
+		// waiting triggers one step down the precision ladder — smaller
+		// weights, bigger pool, slower kernels (§7 trade-off inverted).
+		if c.Downshift && bits > 3 {
+			if usedTok*10 > kvTokens*9 && waitingNow() > 0 {
+				hot++
+			} else {
+				hot = 0
+			}
+			if hot >= downshiftAfter {
+				old := weights
+				bits = downshiftStep(bits)
+				st.Downshifts++
+				weights, kvTokens = poolFor(bits)
+				// Requantization stall: stream the old weights out and the
+				// requantized copy back through HBM.
+				now += (old + weights) / (c.GPU.BandwidthGBs * 1e9)
+				oo.downshift(bits, kvTokens)
+				hot = 0
+			}
+		}
+		shedExcess()
 		admit()
 		steps++
 		if steps > maxSteps {
@@ -284,7 +499,6 @@ func Run(c Config) (Stats, error) {
 		}
 	}
 
-	st := Stats{KVCapacityTok: kvTokens}
 	var latencies []float64
 	for _, r := range queue {
 		if r.finish < 0 {
@@ -311,7 +525,21 @@ func Run(c Config) (Stats, error) {
 		st.MeanBatch += b
 	}
 	st.MeanBatch /= float64(len(batchSamples))
+	st.FinalBits = bits
+	st.FinalKVTok = kvTokens
 	return st, nil
+}
+
+// downshiftStep is the precision fallback ladder under memory pressure.
+func downshiftStep(bits int) int {
+	switch bits {
+	case 16:
+		return 8
+	case 8:
+		return 4
+	default:
+		return 3
+	}
 }
 
 // SweepPoint is one (bits, arrival) measurement.

@@ -11,12 +11,21 @@
 //   - Pipeline (pipeline.go): a real goroutine-per-stage pipeline running
 //     the reference transformer, producing actual tokens — the functional
 //     counterpart used to validate plan execution end to end.
+//
+// The engine also hosts the chaos fault model (internal/chaos): a
+// schedule of stage crashes (transient or permanent device loss),
+// compute stragglers, and slow interconnect hops, injected into the same
+// event queue as the workload so fault runs stay byte-for-byte
+// reproducible. A permanent loss halts the simulation and surfaces a
+// DeviceLostError carrying the completed-token watermark; the
+// self-healing replanner in internal/failover consumes it.
 package runtime
 
 import (
 	"fmt"
 
 	"repro/internal/assigner"
+	"repro/internal/chaos"
 	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/profiler"
@@ -37,6 +46,31 @@ func (e *OOMError) Error() string {
 		e.Stage, e.Device, e.NeedGB, e.HaveGB)
 }
 
+// DeviceLostError reports a permanent device loss (chaos.KindCrash with
+// Permanent set): the simulation halted at AtSec with the pipeline
+// incomplete. Watermark is the completed-token watermark — every request
+// durably holds at least Watermark generated tokens — which is where the
+// failover controller resumes the replanned pipeline (Engine.StartRound).
+// Work in flight beyond the watermark is lost and re-executed after
+// migration, exactly like a task lost to a transient crash.
+type DeviceLostError struct {
+	Stage  int // pipeline stage that died
+	Device int // cluster device id serving that stage
+	AtSec  float64
+	// Watermark is the durable generated-token count per request (0 when
+	// prefill had not completed).
+	Watermark int
+	// DurableTokens = GlobalBatch × Watermark, the tokens that survive.
+	DurableTokens int
+	// PrefillDone reports whether every prefill micro-batch had finished.
+	PrefillDone bool
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("runtime: permanent device loss on stage %d (device %d) at %.3fs (watermark %d tokens/request)",
+		e.Stage, e.Device, e.AtSec, e.Watermark)
+}
+
 // Stats summarizes one serving run.
 type Stats struct {
 	LatencySec  float64 // end-to-end batch latency
@@ -47,9 +81,11 @@ type Stats struct {
 	StageMemGB  []float64 // per-stage reserved memory
 	Utilization []float64 // busy / latency
 	Events      int
-	// DowntimeSec is the injected stage outage, when a FailureInjection
-	// was configured.
+	// DowntimeSec totals the injected transient-crash outages.
 	DowntimeSec float64
+	// LostTasks counts in-flight tasks killed by crash faults and
+	// re-executed after recovery.
+	LostTasks int
 	// Trace holds per-task execution spans when Engine.Trace is set.
 	Trace []TaskSpan
 }
@@ -58,21 +94,27 @@ type Stats struct {
 // after RecoverySec (the time to restream its shard through the §5
 // on-the-fly loader — see internal/loader.RecoveryTime). The task running
 // on the failed stage is lost and re-executed after recovery.
+//
+// Deprecated: FailureInjection is the legacy single-fault interface,
+// kept as a shim over the chaos schedule; new code should set
+// Engine.Chaos with a chaos.KindCrash fault instead.
 type FailureInjection struct {
 	Stage       int
 	AtSec       float64
 	RecoverySec float64
 }
 
-// Validate checks the injection against a plan.
+// schedule converts the legacy injection into a one-fault chaos schedule.
+func (fi *FailureInjection) schedule() *chaos.Schedule {
+	return &chaos.Schedule{Faults: []chaos.Fault{{
+		Kind: chaos.KindCrash, Stage: fi.Stage, AtSec: fi.AtSec, RecoverySec: fi.RecoverySec,
+	}}}
+}
+
+// Validate checks the injection against a plan, through the chaos
+// schedule's validation (stage range, negative timings).
 func (fi *FailureInjection) Validate(stages int) error {
-	if fi.Stage < 0 || fi.Stage >= stages {
-		return fmt.Errorf("runtime: failure stage %d out of [0,%d)", fi.Stage, stages)
-	}
-	if fi.AtSec < 0 || fi.RecoverySec < 0 {
-		return fmt.Errorf("runtime: negative failure timing %+v", fi)
-	}
-	return nil
+	return fi.schedule().Validate(stages)
 }
 
 // Engine simulates plan execution on a cluster.
@@ -80,15 +122,30 @@ type Engine struct {
 	Spec  *assigner.Spec
 	Plan  *assigner.Plan
 	Timer assigner.LayerTimer
-	// Failure, when non-nil, injects a stage outage (§5 recovery).
+	// Failure, when non-nil, injects a single stage outage.
+	//
+	// Deprecated: use Chaos; setting both is an error.
 	Failure *FailureInjection
+	// Chaos, when non-nil, injects the schedule's faults: concurrent
+	// stage crashes (transient or permanent), compute stragglers, and
+	// slow-link windows. KV-allocation faults are ignored here (they
+	// target online serving). The schedule is validated against the
+	// plan's stage count and its own horizon before the run starts.
+	Chaos *chaos.Schedule
+	// StartRound resumes a pipeline from a completed-token watermark:
+	// prefill is skipped and decode micro-batches are injected at this
+	// round (tokens already held per request). 0 runs normally from
+	// prefill. Used by the failover controller to resume on a degraded
+	// plan after a permanent device loss.
+	StartRound int
 	// Trace records per-task execution spans into Stats.Trace (render with
 	// RenderGantt).
 	Trace bool
 	// Obs, when non-nil, receives engine metrics: per-stage busy/idle/comm
-	// histograms, KV reservation gauges, and OOM/task counters
-	// (DESIGN.md §8). Nil keeps the hot path allocation-free, so the
-	// uninstrumented simulation is bit-for-bit unchanged.
+	// histograms, KV reservation gauges, OOM/task counters, and the
+	// llmpq_chaos_* fault families (DESIGN.md §8, §10). Nil keeps the hot
+	// path allocation-free, so the uninstrumented simulation is
+	// bit-for-bit unchanged.
 	Obs *obs.Registry
 	// Spans, when non-nil, records one simulated-time span per executed
 	// task and inter-stage transfer; export with
@@ -110,6 +167,20 @@ func NewEngine(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTim
 	return &Engine{Spec: spec, Plan: plan, Timer: timer}, nil
 }
 
+// schedule resolves the effective chaos schedule (nil = fault-free).
+func (e *Engine) schedule() (*chaos.Schedule, error) {
+	if e.Chaos != nil && e.Failure != nil {
+		return nil, fmt.Errorf("runtime: both Chaos and the deprecated Failure are set; use Chaos")
+	}
+	if e.Chaos != nil {
+		return e.Chaos, nil
+	}
+	if e.Failure != nil {
+		return e.Failure.schedule(), nil
+	}
+	return nil, nil
+}
+
 type task struct {
 	mb      int // micro-batch index
 	batch   int // requests in this micro-batch
@@ -126,13 +197,17 @@ type stage struct {
 	// epoch increments when the stage fails; completions from an older
 	// epoch are discarded and their task re-queued (the work was lost).
 	epoch int
-	down  bool
-	cur   task
+	// downCount tracks overlapping crash faults; the stage serves only
+	// while it is zero.
+	downCount int
+	cur       task
 	// lastEnd is when the previous task completed (idle-gap accounting).
 	lastEnd float64
 }
 
 // Run simulates the full offline task and returns measured statistics.
+// A permanent device loss in the chaos schedule halts the run and
+// returns a *DeviceLostError (unless the pipeline had already finished).
 func (e *Engine) Run() (Stats, error) {
 	s := e.Spec
 	p := e.Plan
@@ -140,6 +215,17 @@ func (e *Engine) Run() (Stats, error) {
 	stages := make([]*stage, n)
 	stageBits := p.StageLayerBits(s.Cfg.Layers)
 	maxSeq := s.Work.Prompt + s.Work.Generate
+
+	sched, err := e.schedule()
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := sched.Validate(n); err != nil {
+		return Stats{}, err
+	}
+	if e.StartRound < 0 || (e.StartRound > 0 && e.StartRound >= s.Work.Generate) {
+		return Stats{}, fmt.Errorf("runtime: start round %d outside [0,%d)", e.StartRound, s.Work.Generate)
+	}
 
 	var stats Stats
 	stats.StageMemGB = make([]float64, n)
@@ -175,15 +261,39 @@ func (e *Engine) Run() (Stats, error) {
 	decodeDone := 0
 	tokens := 0
 	var prefillEnd float64
+	var workDoneAt float64
+	// rounds[mb] is the durable token count of decode micro-batch mb —
+	// the completed-token watermark is their minimum.
+	rounds := make([]int, kd)
+	resumed := e.StartRound > 0
+	if resumed {
+		for m := range rounds {
+			rounds[m] = e.StartRound
+		}
+	}
+	// halted is set by a permanent device loss: every pending callback
+	// becomes a no-op so the event queue drains without scheduling more
+	// work, freezing the simulation at the loss instant.
+	halted := false
+	var lost *DeviceLostError
 	var simErr error
 	fail := func(err error) {
 		if simErr == nil {
 			simErr = err
 		}
 	}
+	workComplete := func() bool {
+		if s.Work.Generate > 1 {
+			return decodeDone == kd
+		}
+		return prefillDone == kp
+	}
 
 	var dispatch func(j int)
 	arrive := func(j int, t task) {
+		if halted {
+			return
+		}
 		stages[j].queue = append(stages[j].queue, t)
 		dispatch(j)
 	}
@@ -195,10 +305,16 @@ func (e *Engine) Run() (Stats, error) {
 			tokens += t.batch // first token comes out of prefill
 			if prefillDone == kp {
 				prefillEnd = clk.Now()
+				for m := range rounds {
+					rounds[m] = 1
+				}
+				if workComplete() {
+					workDoneAt = clk.Now()
+				}
 				// Master regroups into decode micro-batches (hybrid
 				// micro-batch sizing, §3). One return hop to the master.
 				if s.Work.Generate > 1 {
-					ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1)
+					ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1) * sched.CommMult(n-1, clk.Now())
 					for m := 0; m < kd; m++ {
 						mb := m
 						if err := clk.After(ret, func() {
@@ -212,20 +328,24 @@ func (e *Engine) Run() (Stats, error) {
 			return
 		}
 		tokens += t.batch
+		rounds[t.mb] = t.round + 1
 		if t.round+1 < s.Work.Generate {
-			ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1)
+			ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1) * sched.CommMult(n-1, clk.Now())
 			next := task{mb: t.mb, batch: t.batch, round: t.round + 1}
 			if err := clk.After(ret, func() { arrive(0, next) }); err != nil {
 				fail(err)
 			}
 		} else {
 			decodeDone++
+			if workComplete() {
+				workDoneAt = clk.Now()
+			}
 		}
 	}
 
 	dispatch = func(j int) {
 		st := stages[j]
-		if st.busy || st.down || len(st.queue) == 0 {
+		if halted || st.busy || st.downCount > 0 || len(st.queue) == 0 {
 			return
 		}
 		t := st.queue[0]
@@ -237,14 +357,16 @@ func (e *Engine) Run() (Stats, error) {
 			fail(err)
 			return
 		}
+		dur *= sched.ComputeMult(j, clk.Now())
 		st.busyTime += dur
 		epoch := st.epoch
 		startAt := clk.Now()
 		eo.idleGap(j, startAt-st.lastEnd)
 		if err := clk.After(dur, func() {
-			if st.epoch != epoch {
-				// The stage failed while this task ran: the work is lost;
-				// it was already re-queued by the failure handler.
+			if halted || st.epoch != epoch {
+				// The stage failed (or the run halted) while this task ran:
+				// the work is lost; on a transient failure it was already
+				// re-queued by the failure handler.
 				return
 			}
 			end := clk.Now()
@@ -265,6 +387,7 @@ func (e *Engine) Run() (Stats, error) {
 				} else {
 					comm = e.commTime(p.Order[j], p.Order[j+1], t.batch, 1)
 				}
+				comm *= sched.CommMult(j, end)
 				eo.commHop(j, comm)
 				recordCommSpan(e.Spans, j, t, end, comm)
 				tt := t
@@ -280,41 +403,86 @@ func (e *Engine) Run() (Stats, error) {
 		}
 	}
 
-	// Failure injection (§5 recovery path).
-	if fi := e.Failure; fi != nil {
-		if err := fi.Validate(n); err != nil {
-			return Stats{}, err
-		}
-		st := stages[fi.Stage]
-		if err := clk.At(fi.AtSec, func() {
-			st.down = true
-			st.epoch++
-			if st.busy {
-				// The in-flight task is lost; put it back at the head.
-				st.queue = append([]task{st.cur}, st.queue...)
-				st.busy = false
+	// Fault injection: every crash in the schedule lands in the same
+	// event queue as the workload (§5 recovery path; DESIGN.md §10).
+	// Straggler and slow-link faults act through the multipliers applied
+	// at dispatch/transfer time; KV-allocation faults are online-serving
+	// only and ignored here.
+	if sched != nil {
+		for _, f := range sched.Faults {
+			if f.Kind != chaos.KindCrash {
+				eo.faultInjected(f.Kind)
+				continue
 			}
-		}); err != nil {
-			return Stats{}, err
+			f := f
+			st := stages[f.Stage]
+			if err := clk.At(f.AtSec, func() {
+				if halted {
+					return
+				}
+				eo.faultInjected(f.Kind)
+				st.downCount++
+				st.epoch++
+				if st.busy {
+					// The in-flight task is lost; put it back at the head.
+					st.queue = append([]task{st.cur}, st.queue...)
+					st.busy = false
+					stats.LostTasks++
+					eo.taskLost(f.Stage)
+				}
+				if f.Permanent {
+					halted = true
+					lost = &DeviceLostError{
+						Stage: f.Stage, Device: p.Order[f.Stage], AtSec: clk.Now(),
+					}
+					eo.deviceLost(f.Stage)
+				}
+			}); err != nil {
+				return Stats{}, err
+			}
+			if f.Permanent {
+				continue
+			}
+			if err := clk.At(f.AtSec+f.RecoverySec, func() {
+				if halted {
+					return
+				}
+				st.downCount--
+				if st.downCount == 0 {
+					dispatch(f.Stage)
+				}
+			}); err != nil {
+				return Stats{}, err
+			}
+			stats.DowntimeSec += f.RecoverySec
+			eo.downtime(f.Stage, f.RecoverySec)
 		}
-		if err := clk.At(fi.AtSec+fi.RecoverySec, func() {
-			st.down = false
-			dispatch(fi.Stage)
-		}); err != nil {
-			return Stats{}, err
-		}
-		stats.DowntimeSec = fi.RecoverySec
 	}
 
-	// Kick off: master embeds and injects prefill micro-batches.
-	for m := 0; m < kp; m++ {
-		mb := m
-		batch := p.PrefillMB
-		if mb == kp-1 {
-			batch = B - p.PrefillMB*(kp-1)
+	// Kick off. A resumed run (StartRound > 0) skips prefill: the master
+	// re-injects decode micro-batches at the watermark round, modelling
+	// restart from migrated KV state.
+	if resumed {
+		for m := 0; m < kd; m++ {
+			mb := m
+			if err := clk.At(0, func() {
+				arrive(0, task{mb: mb, batch: e.decodeBatch(mb, kd), round: e.StartRound})
+			}); err != nil {
+				return Stats{}, err
+			}
 		}
-		if err := clk.At(0, func() { arrive(0, task{mb: mb, batch: batch, prefill: true}) }); err != nil {
-			return Stats{}, err
+		prefillDone = kp
+	} else {
+		// Master embeds and injects prefill micro-batches.
+		for m := 0; m < kp; m++ {
+			mb := m
+			batch := p.PrefillMB
+			if mb == kp-1 {
+				batch = B - p.PrefillMB*(kp-1)
+			}
+			if err := clk.At(0, func() { arrive(0, task{mb: mb, batch: batch, prefill: true}) }); err != nil {
+				return Stats{}, err
+			}
 		}
 	}
 
@@ -324,14 +492,33 @@ func (e *Engine) Run() (Stats, error) {
 	if simErr != nil {
 		return Stats{}, simErr
 	}
+	if lost != nil && !workComplete() {
+		// Permanent device loss with the pipeline incomplete: report the
+		// watermark so the failover controller can resume a degraded plan.
+		lost.PrefillDone = prefillDone == kp
+		if lost.PrefillDone {
+			w := rounds[0]
+			for _, r := range rounds[1:] {
+				if r < w {
+					w = r
+				}
+			}
+			lost.Watermark = w
+		}
+		lost.DurableTokens = B * lost.Watermark
+		return Stats{}, lost
+	}
 	if s.Work.Generate > 1 && decodeDone != kd {
 		return Stats{}, fmt.Errorf("runtime: simulation ended with %d/%d decode micro-batches complete", decodeDone, kd)
 	}
 
-	stats.LatencySec = clk.Now()
+	// A fault scheduled past the pipeline's completion leaves trailing
+	// events on the clock; latency is when the work finished, not when
+	// the last moot fault event fired.
+	stats.LatencySec = workDoneAt
 	stats.PrefillSec = prefillEnd
 	stats.TokensOut = tokens
-	stats.Throughput = float64(B*s.Work.Generate) / stats.LatencySec
+	stats.Throughput = float64(stats.TokensOut) / stats.LatencySec
 	stats.Events = clk.Fired()
 	stats.StageBusy = make([]float64, n)
 	stats.Utilization = make([]float64, n)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -18,6 +19,11 @@ const (
 	metricTasks     = "llmpq_engine_tasks_total"
 	metricLatency   = "llmpq_engine_latency_seconds"
 	metricSimEvents = "llmpq_engine_events_total"
+	// Chaos fault injection (DESIGN.md §10).
+	metricChaosFaults   = "llmpq_chaos_faults_injected_total"
+	metricChaosLost     = "llmpq_chaos_tasks_lost_total"
+	metricChaosDowntime = "llmpq_chaos_downtime_seconds"
+	metricChaosDevLost  = "llmpq_chaos_device_lost_total"
 	// Real goroutine pipeline.
 	metricPipeCompute = "llmpq_pipeline_stage_compute_seconds"
 	metricPipeRecv    = "llmpq_pipeline_stage_recv_wait_seconds"
@@ -40,6 +46,9 @@ type engineObs struct {
 	tasks   *obs.Counter
 	latency *obs.Gauge
 	events  *obs.Counter
+	// reg resolves chaos series lazily (faults are rare; no need to
+	// pre-resolve per-kind counters for fault-free runs).
+	reg *obs.Registry
 }
 
 func newEngineObs(r *obs.Registry, stages int) *engineObs {
@@ -47,6 +56,7 @@ func newEngineObs(r *obs.Registry, stages int) *engineObs {
 		return nil
 	}
 	eo := &engineObs{
+		reg:     r,
 		busyPre: make([]*obs.Histogram, stages),
 		busyDec: make([]*obs.Histogram, stages),
 		idle:    make([]*obs.Histogram, stages),
@@ -107,6 +117,38 @@ func (o *engineObs) oomHit() {
 		return
 	}
 	o.oom.Inc()
+}
+
+// faultInjected counts one chaos fault becoming active, labelled by kind.
+func (o *engineObs) faultInjected(k chaos.Kind) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(metricChaosFaults, obs.L("kind", k.String())).Inc()
+}
+
+// taskLost counts an in-flight task killed by a crash fault.
+func (o *engineObs) taskLost(j int) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(metricChaosLost, stageLabel(j)).Inc()
+}
+
+// downtime accumulates a transient crash's outage on its stage.
+func (o *engineObs) downtime(j int, sec float64) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(metricChaosDowntime, stageLabel(j)).Add(sec)
+}
+
+// deviceLost counts a permanent device loss halting the run.
+func (o *engineObs) deviceLost(j int) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(metricChaosDevLost, stageLabel(j)).Inc()
 }
 
 func (o *engineObs) finish(latencySec float64, events int) {

@@ -12,8 +12,8 @@ echo "== llmpq-vet (domain analyzers) =="
 go run ./cmd/llmpq-vet ./...
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/...
 echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
@@ -27,6 +27,20 @@ go run ./cmd/llmpq-algo -cluster 9 -model-name opt-13b -parallel 1 -o "$obsdir/s
 go run ./cmd/llmpq-algo -cluster 9 -model-name opt-13b -parallel 4 -o "$obsdir/parallel.json" > /dev/null
 diff "$obsdir/serial.json" "$obsdir/parallel.json" || {
     echo "verify.sh: parallel planner diverged from the serial plan" >&2; exit 1; }
+echo "== chaos smoke (permanent device loss must be reproducible byte-for-byte) =="
+go build -o "$obsdir/llmpq-bench" ./cmd/llmpq-bench
+mkdir -p "$obsdir/chaos1" "$obsdir/chaos2"
+(cd "$obsdir/chaos1" && "$obsdir/llmpq-bench" -chaos-profile perm-loss -chaos-seed 1 \
+    -metrics-out metrics.prom -trace-out trace.json > stdout.txt)
+(cd "$obsdir/chaos2" && "$obsdir/llmpq-bench" -chaos-profile perm-loss -chaos-seed 1 \
+    -metrics-out metrics.prom -trace-out trace.json > stdout.txt)
+for f in metrics.prom trace.json stdout.txt; do
+    diff "$obsdir/chaos1/$f" "$obsdir/chaos2/$f" || {
+        echo "verify.sh: chaos run is not deterministic ($f differs)" >&2; exit 1; }
+done
+grep -Eq 'llmpq_failover_replans_total [1-9]' "$obsdir/chaos1/metrics.prom" || {
+    echo "verify.sh: chaos smoke never replanned (llmpq_failover_replans_total < 1)" >&2; exit 1; }
+grep -q 'llmpq_chaos_device_lost_total' "$obsdir/chaos1/metrics.prom"
 echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
