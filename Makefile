@@ -11,17 +11,17 @@ verify:
 # Race lane: the pipeline engine (incl. the instrumented goroutine
 # pipeline), online admission, simulated clock, observability registry,
 # TP mesh search, the parallel planner search (assigner worker pool
-# plus the lp/ilp solvers it calls concurrently), and the chaos/failover
-# fault-injection stack run under the race detector (documented in
-# README "Correctness tooling").
+# plus the lp/ilp solvers it calls concurrently), the chaos/failover
+# fault-injection stack, and the distributed control plane run under
+# the race detector (documented in README "Correctness tooling").
 .PHONY: verify-race
 verify-race:
-	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/...
+	$(GO) test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/...
 
 # Coverage gate: aggregate statement coverage over ./internal/... must not
 # drop below COVER_FLOOR (percent, measured when the gate was introduced;
 # raise it when coverage improves, never lower it to make a PR pass).
-COVER_FLOOR := 86.0
+COVER_FLOOR := 86.2
 .PHONY: cover
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

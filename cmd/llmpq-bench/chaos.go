@@ -124,16 +124,8 @@ func writeMetrics(reg *obs.Registry, path string) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := reg.WriteText(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return fmt.Errorf("write metrics: %w", werr)
+	if err := obs.WriteArtifact(path, reg.WriteText); err != nil {
+		return fmt.Errorf("write metrics: %w", err)
 	}
 	fmt.Printf("metrics dump: %s\n", path)
 	return nil
@@ -145,16 +137,8 @@ func writeTrace(rec *obs.SpanRecorder, path string) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := rec.WriteChromeTrace(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return fmt.Errorf("write trace: %w", werr)
+	if err := obs.WriteArtifact(path, rec.WriteChromeTrace); err != nil {
+		return fmt.Errorf("write trace: %w", err)
 	}
 	rd, err := os.Open(path)
 	if err != nil {

@@ -54,30 +54,14 @@ func runObserved(metricsOut, traceOut string) error {
 		spec.Cfg.Name, spec.Cluster.Name, st.LatencySec, st.Throughput, rec.Len())
 
 	if metricsOut != "" {
-		f, err := os.Create(metricsOut)
-		if err != nil {
-			return err
-		}
-		werr := reg.WriteText(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return fmt.Errorf("write metrics: %w", werr)
+		if err := obs.WriteArtifact(metricsOut, reg.WriteText); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
 		}
 		fmt.Printf("metrics dump: %s\n", metricsOut)
 	}
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		werr := rec.WriteChromeTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return fmt.Errorf("write trace: %w", werr)
+		if err := obs.WriteArtifact(traceOut, rec.WriteChromeTrace); err != nil {
+			return fmt.Errorf("write trace: %w", err)
 		}
 		// Self-validate: the artifact must round-trip as trace_event JSON
 		// and carry spans from multiple stages and both phases.

@@ -3,46 +3,87 @@
 //
 //	llmpq-dist -strat-file strategy.json
 //
-// The runtime is the deterministic cluster simulation (DESIGN.md §3):
-// master engine, per-stage workers, asynchronous stage-to-stage transfers
-// and KV-cache reservation, with OOM detection at model-load time.
+// By default the run is the single-process deterministic cluster
+// simulation (DESIGN.md §3): master engine, per-stage workers,
+// asynchronous stage-to-stage transfers and KV-cache reservation, with
+// OOM detection at model-load time.
+//
+// With -role the same strategy runs as a real multi-process control
+// plane over TCP (DESIGN.md §11): one coordinator owning the
+// deterministic event loop plus per-stage worker processes evaluating
+// stage times remotely, with heartbeat/lease membership, per-round
+// deadlines, reconnect-with-backoff, and — on permanent worker loss —
+// an automatic replan-and-resume identical to the in-process failover
+// path:
+//
+//	llmpq-dist -role coordinator -strat-file strategy.json -listen :9380 -workers 2
+//	llmpq-dist -role worker -name w0 -connect 127.0.0.1:9380
+//	llmpq-dist -role worker -name w1 -connect 127.0.0.1:9380
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/assigner"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/core/retry"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
-// writeArtifact creates path and streams one export into it.
-func writeArtifact(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := write(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
-}
-
 func main() {
 	var (
+		role       = flag.String("role", "single", "single | coordinator | worker")
 		stratFile  = flag.String("strat-file", "strategy.json", "strategy file from llmpq-algo")
-		verbose    = flag.Bool("v", false, "print per-stage utilization")
-		gantt      = flag.Bool("gantt", false, "render the per-stage execution timeline")
+		verbose    = flag.Bool("v", false, "print per-stage utilization (single) or control-plane events (coordinator/worker)")
+		gantt      = flag.Bool("gantt", false, "render the per-stage execution timeline (single role)")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus-style metrics dump of the run here")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run here")
+
+		// Coordinator role.
+		listen       = flag.String("listen", "127.0.0.1:9380", "coordinator bind address")
+		workers      = flag.Int("workers", 2, "worker count the coordinator waits for")
+		heartbeat    = flag.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval")
+		lease        = flag.Duration("lease", 2*time.Second, "silence after which a worker is declared lost")
+		deadline     = flag.Duration("deadline", 10*time.Second, "per-round remote evaluation deadline")
+		chaosProfile = flag.String("chaos-profile", "", "inject a seeded network fault profile (conn-drop | partition | net-delay)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos-profile")
+		chaosHorizon = flag.Float64("chaos-horizon", 5.0, "wall-clock horizon in seconds the profile places faults in")
+
+		// Worker role.
+		connect   = flag.String("connect", "127.0.0.1:9380", "coordinator address to join")
+		name      = flag.String("name", "", "stable worker name (required for -role worker)")
+		hold      = flag.Duration("hold", 0, "artificial wall delay per stage evaluation (paces demos)")
+		failAfter = flag.Int("fail-after", 0, "die after this many evaluations (failover demos; 0 = never)")
 	)
 	flag.Parse()
 
-	strat, err := core.LoadStrategy(*stratFile)
+	switch *role {
+	case "single":
+		runSingle(*stratFile, *verbose, *gantt, *metricsOut, *traceOut)
+	case "coordinator":
+		runCoordinator(*stratFile, *listen, *workers, *heartbeat, *lease, *deadline,
+			*chaosProfile, *chaosSeed, *chaosHorizon, *verbose, *metricsOut, *traceOut)
+	case "worker":
+		runWorker(*name, *connect, *hold, *failAfter, *verbose)
+	default:
+		fatalf("unknown -role %q (want single, coordinator, or worker)", *role)
+	}
+}
+
+// loadStrategy rebuilds the spec and validates the plan against it.
+func loadStrategy(path string) (*assigner.Spec, *assigner.Plan) {
+	strat, err := core.LoadStrategy(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -53,18 +94,33 @@ func main() {
 	if err := strat.Plan.Validate(spec); err != nil {
 		fatalf("strategy does not match its cluster/model: %v", err)
 	}
-	eng, err := runtime.NewEngine(spec, strat.Plan, nil)
+	return spec, strat.Plan
+}
+
+// printSummary emits the shared result header — identical between the
+// single-process engine and a clean coordinated run, so outputs diff.
+func printSummary(spec *assigner.Spec, st runtime.Stats) {
+	fmt.Printf("model        %s on %s\n", spec.Cfg.Name, spec.Cluster.Name)
+	fmt.Printf("workload     batch=%d prompt=%d generate=%d\n",
+		spec.Work.GlobalBatch, spec.Work.Prompt, spec.Work.Generate)
+	fmt.Printf("latency      %.2f s (prefill %.2f s)\n", st.LatencySec, st.PrefillSec)
+	fmt.Printf("throughput   %.2f token/s (%d tokens)\n", st.Throughput, st.TokensOut)
+}
+
+func runSingle(stratFile string, verbose, gantt bool, metricsOut, traceOut string) {
+	spec, plan := loadStrategy(stratFile)
+	eng, err := runtime.NewEngine(spec, plan, nil)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	eng.Trace = *gantt
+	eng.Trace = gantt
 	var reg *obs.Registry
 	var rec *obs.SpanRecorder
-	if *metricsOut != "" {
+	if metricsOut != "" {
 		reg = obs.NewRegistry()
 		eng.Obs = reg
 	}
-	if *traceOut != "" {
+	if traceOut != "" {
 		rec = obs.NewSpanRecorder()
 		eng.Spans = rec
 	}
@@ -76,36 +132,120 @@ func main() {
 	if err != nil {
 		fatalf("serving failed: %v", err)
 	}
-	fmt.Printf("model        %s on %s\n", spec.Cfg.Name, spec.Cluster.Name)
-	fmt.Printf("workload     batch=%d prompt=%d generate=%d\n",
-		spec.Work.GlobalBatch, spec.Work.Prompt, spec.Work.Generate)
-	fmt.Printf("latency      %.2f s (prefill %.2f s)\n", st.LatencySec, st.PrefillSec)
-	fmt.Printf("throughput   %.2f token/s (%d tokens)\n", st.Throughput, st.TokensOut)
-	if reg != nil {
-		if err := writeArtifact(*metricsOut, func(f *os.File) error { return reg.WriteText(f) }); err != nil {
-			fatalf("write metrics: %v", err)
-		}
-		fmt.Printf("metrics      %s\n", *metricsOut)
-	}
-	if rec != nil {
-		if err := writeArtifact(*traceOut, func(f *os.File) error { return rec.WriteChromeTrace(f) }); err != nil {
-			fatalf("write trace: %v", err)
-		}
-		fmt.Printf("trace        %s (%d spans, load in chrome://tracing)\n", *traceOut, rec.Len())
-	}
-	if *verbose {
+	printSummary(spec, st)
+	writeArtifacts(reg, rec, metricsOut, traceOut)
+	if verbose {
 		for j := range st.StageBusy {
 			fmt.Printf("stage %d      busy %.2fs (%.0f%%), reserved %.1f GB\n",
 				j, st.StageBusy[j], st.Utilization[j]*100, st.StageMemGB[j])
 		}
 		fmt.Printf("events       %d\n", st.Events)
 	}
-	if *gantt {
-		out, err := runtime.RenderGantt(st.Trace, strat.Plan.NumStages(), st.LatencySec, 100)
+	if gantt {
+		out, err := runtime.RenderGantt(st.Trace, plan.NumStages(), st.LatencySec, 100)
 		if err != nil {
 			fatalf("gantt: %v", err)
 		}
 		fmt.Print(out)
+	}
+}
+
+func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, deadline time.Duration,
+	chaosProfile string, chaosSeed int64, chaosHorizon float64, verbose bool, metricsOut, traceOut string) {
+	spec, plan := loadStrategy(stratFile)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	var reg *obs.Registry
+	var rec *obs.SpanRecorder
+	if metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if traceOut != "" {
+		rec = obs.NewSpanRecorder()
+	}
+	ctrl := obs.NewRegistry()
+	if chaosProfile != "" {
+		sched, err := chaos.New(chaosProfile, chaosSeed, workers, chaosHorizon)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if nf := sched.NetFaults(); len(nf) != len(sched.Faults) {
+			fatalf("profile %s contains non-network faults; the distributed runtime injects network faults only (conn-drop, partition, net-delay)", chaosProfile)
+		}
+		ln = dist.NewFaultListener(ln, sched, reg, ctrl)
+		fmt.Printf("chaos        profile %s seed %d (%d network faults)\n", chaosProfile, chaosSeed, len(sched.Faults))
+	}
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "llmpq-dist: "+format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := dist.Serve(ctx, dist.Config{
+		Listener: ln, Workers: workers, Spec: spec, Plan: plan,
+		Heartbeat: heartbeat, Lease: lease, RoundDeadline: deadline,
+		Obs: reg, CtrlObs: ctrl, Spans: rec, Logf: logf,
+	})
+	if err != nil {
+		fatalf("coordinated serving failed: %v", err)
+	}
+	if !res.Replanned {
+		printSummary(spec, res.First)
+	} else {
+		fmt.Printf("model        %s on %s\n", spec.Cfg.Name, spec.Cluster.Name)
+		fmt.Printf("workload     batch=%d prompt=%d generate=%d\n",
+			spec.Work.GlobalBatch, spec.Work.Prompt, spec.Work.Generate)
+		fmt.Printf("worker loss  %s (stage %d, %s) at %.4f s, watermark %d tokens/request\n",
+			res.LostWorker, res.Lost.Stage, res.LostDevice, res.Lost.AtSec, res.Lost.Watermark)
+		fmt.Printf("replanned    %d stages on survivors, %d layers migrated (%.0f MB, %.4f s)\n",
+			res.DegradedPlan.NumStages(), res.MovedLayers, res.Migration.TotalBytes/1e6, res.Migration.TransferSec)
+		fmt.Printf("total        %d tokens in %.4f s\n", res.TotalTokens, res.TotalLatencySec)
+	}
+	writeArtifacts(reg, rec, metricsOut, traceOut)
+}
+
+func runWorker(name, connect string, hold time.Duration, failAfter int, verbose bool) {
+	if name == "" {
+		fatalf("-role worker requires -name")
+	}
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "llmpq-dist: "+format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Name: name, Connect: connect, Hold: hold, FailAfterCalls: failAfter,
+		// Patient dial budget (~1 min) so workers may be launched before
+		// the coordinator binds its port.
+		Retry:     retry.Policy{MaxAttempts: 60, BaseDelaySec: 0.1, Factor: 1.5, MaxDelaySec: 2, JitterFrac: 0.2},
+		RetrySeed: int64(len(name)) + 1, Logf: logf,
+	})
+	if err != nil {
+		fatalf("worker %s: %v", name, err)
+	}
+	fmt.Printf("worker %s    done\n", name)
+}
+
+// writeArtifacts streams the metrics and trace exports when requested.
+func writeArtifacts(reg *obs.Registry, rec *obs.SpanRecorder, metricsOut, traceOut string) {
+	if reg != nil {
+		if err := obs.WriteArtifact(metricsOut, reg.WriteText); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		fmt.Printf("metrics      %s\n", metricsOut)
+	}
+	if rec != nil {
+		if err := obs.WriteArtifact(traceOut, rec.WriteChromeTrace); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace        %s (%d spans, load in chrome://tracing)\n", traceOut, rec.Len())
 	}
 }
 

@@ -1,10 +1,14 @@
 package assigner_test
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"repro/internal/assigner"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/profiler"
 )
 
 // TestParallelSearchDeterminism runs the same Table-3 instances at worker
@@ -42,6 +46,42 @@ func TestParallelSearchDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// prefillFaultTimer delegates to the roofline timer but fails every
+// prefill measurement whose micro-batch is in bad — so several of the
+// concurrently built per-micro-batch Tables error at once, each with a
+// batch-specific message.
+type prefillFaultTimer struct{ bad map[int]bool }
+
+func (ft prefillFaultTimer) Layer(gpu hardware.GPU, cfg model.Config, w profiler.Workload) (float64, error) {
+	if w.Prefill && ft.bad[w.Batch] {
+		return 0, fmt.Errorf("profiler down for prefill batch %d", w.Batch)
+	}
+	return assigner.ProfilerTimer{}.Layer(gpu, cfg, w)
+}
+
+// TestParallelTableBuildErrorDeterminism: when multiple micro-batch table
+// builds fail, Optimize must report the same error regardless of worker
+// count — the lowest micro-batch index, exactly as a serial build would.
+func TestParallelTableBuildErrorDeterminism(t *testing.T) {
+	timer := prefillFaultTimer{bad: map[int]bool{1: true, 2: true, 4: true, 8: true}}
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		s := goldenSpec(t, goldenCase{"cluster3-opt-13b", 3, "opt-13b", 4})
+		s.Parallelism = workers
+		_, err := assigner.Optimize(s, timer)
+		if err == nil {
+			t.Fatalf("parallelism %d: poisoned timer must fail the build", workers)
+		}
+		if want == "" {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Errorf("parallelism %d reported %q, serial reported %q", workers, err, want)
+		}
 	}
 }
 

@@ -43,6 +43,22 @@ const (
 	// KindKVAlloc makes paged-KV allocations fail with probability
 	// Factor during [AtSec, AtSec+DurationSec) — online serving only.
 	KindKVAlloc
+	// KindConnDrop kills accepted control-plane connection Conn after it
+	// has carried AfterFrames frames — a transient wire drop the client
+	// heals with reconnect-and-backoff. Consumed by internal/dist's
+	// fault-injecting listener; ignored by the in-process engine.
+	KindConnDrop
+	// KindPartition black-holes the control plane during [AtSec,
+	// AtSec+DurationSec) measured in wall-clock seconds since the
+	// listener opened: existing connections are severed and new ones
+	// refused. Conn -1 targets every connection (the only supported
+	// scope today). Consumed by internal/dist.
+	KindPartition
+	// KindNetDelay stalls each frame on connection Conn (-1 = all) by
+	// DelaySec during [AtSec, AtSec+DurationSec) of wall-clock time —
+	// the fault that trips per-round deadline propagation. Consumed by
+	// internal/dist.
+	KindNetDelay
 )
 
 func (k Kind) String() string {
@@ -55,8 +71,26 @@ func (k Kind) String() string {
 		return "slowlink"
 	case KindKVAlloc:
 		return "kvalloc"
+	case KindConnDrop:
+		return "conndrop"
+	case KindPartition:
+		return "partition"
+	case KindNetDelay:
+		return "netdelay"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Network reports whether the kind targets the distributed control
+// plane's wire (realized by internal/dist's fault-injecting listener)
+// rather than the simulated pipeline.
+func (k Kind) Network() bool {
+	switch k {
+	case KindConnDrop, KindPartition, KindNetDelay:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -75,6 +109,15 @@ type Fault struct {
 	Factor float64
 	// DurationSec is the fault window for the windowed kinds.
 	DurationSec float64
+	// Conn is the 0-based accepted-connection ordinal targeted by the
+	// network kinds; -1 targets every connection (KindPartition and
+	// KindNetDelay only — KindConnDrop needs a specific connection).
+	Conn int
+	// AfterFrames is the frame count after which KindConnDrop severs its
+	// connection (>= 1, counted over frames read server-side).
+	AfterFrames int
+	// DelaySec is the per-frame stall KindNetDelay injects.
+	DelaySec float64
 }
 
 // EndSec returns when the fault stops acting: recovery for transient
@@ -100,7 +143,7 @@ func (f Fault) activeAt(t float64) bool {
 // Validate checks one fault against a pipeline depth and an optional run
 // horizon (0 = unbounded).
 func (f Fault) Validate(stages int, horizonSec float64) error {
-	if f.Kind != KindKVAlloc && (f.Stage < 0 || f.Stage >= stages) {
+	if f.Kind != KindKVAlloc && !f.Kind.Network() && (f.Stage < 0 || f.Stage >= stages) {
 		return fmt.Errorf("chaos: %s fault stage %d out of [0,%d)", f.Kind, f.Stage, stages)
 	}
 	if f.AtSec < 0 {
@@ -133,6 +176,39 @@ func (f Fault) Validate(stages int, horizonSec float64) error {
 		}
 		if f.Permanent {
 			return fmt.Errorf("chaos: kvalloc fault cannot be permanent")
+		}
+	case KindConnDrop:
+		if f.Conn < 0 {
+			return fmt.Errorf("chaos: conndrop needs a specific connection ordinal, got %d", f.Conn)
+		}
+		if f.AfterFrames < 1 {
+			return fmt.Errorf("chaos: conndrop after %d frames, must be >= 1", f.AfterFrames)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: conndrop fault cannot be permanent")
+		}
+	case KindPartition:
+		if f.Conn < -1 {
+			return fmt.Errorf("chaos: partition connection %d out of range (-1 = all)", f.Conn)
+		}
+		if f.DurationSec <= 0 {
+			return fmt.Errorf("chaos: partition duration %g must be positive", f.DurationSec)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: partition fault cannot be permanent")
+		}
+	case KindNetDelay:
+		if f.Conn < -1 {
+			return fmt.Errorf("chaos: netdelay connection %d out of range (-1 = all)", f.Conn)
+		}
+		if f.DelaySec <= 0 {
+			return fmt.Errorf("chaos: netdelay delay %g must be positive", f.DelaySec)
+		}
+		if f.DurationSec <= 0 {
+			return fmt.Errorf("chaos: netdelay duration %g must be positive", f.DurationSec)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: netdelay fault cannot be permanent")
 		}
 	default:
 		return fmt.Errorf("chaos: unknown fault kind %v", f.Kind)
@@ -235,6 +311,23 @@ func (s *Schedule) KVFailProb(t float64) float64 {
 		}
 	}
 	return 1 - ok
+}
+
+// NetFaults returns the schedule's network faults (conn drops,
+// partitions, frame delays) in schedule order — the subset
+// internal/dist's fault-injecting listener realizes. The in-process
+// engine ignores them, exactly as it ignores KV-allocation faults.
+func (s *Schedule) NetFaults() []Fault {
+	if s == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range s.Faults {
+		if f.Kind.Network() {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // HasKVFaults reports whether any KV-allocation fault is scheduled.

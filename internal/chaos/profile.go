@@ -14,6 +14,9 @@ const (
 	ProfileSlowLink   = "slow-link"   // one congested interconnect hop
 	ProfileKVPressure = "kv-pressure" // transient KV-allocation failures (online)
 	ProfileMixed      = "mixed"       // crash + straggler + slow link overlapping
+	ProfileConnDrop   = "conn-drop"   // control-plane connection drops (dist)
+	ProfilePartition  = "partition"   // control-plane partition window (dist)
+	ProfileNetDelay   = "net-delay"   // control-plane frame delays (dist)
 )
 
 // Profiles lists the known profile names, sorted.
@@ -21,6 +24,7 @@ func Profiles() []string {
 	names := []string{
 		ProfileCrash, ProfilePermLoss, ProfileStragglers,
 		ProfileSlowLink, ProfileKVPressure, ProfileMixed,
+		ProfileConnDrop, ProfilePartition, ProfileNetDelay,
 	}
 	sort.Strings(names)
 	return names
@@ -78,6 +82,26 @@ func New(name string, seed int64, stages int, horizonSec float64) (*Schedule, er
 			{Kind: KindStraggler, Stage: stage(), AtSec: at(), Factor: 1.5 + 1.5*rng.Float64(), DurationSec: window()},
 			{Kind: KindSlowLink, Stage: stage(), AtSec: at(), Factor: 2 + 2*rng.Float64(), DurationSec: window()},
 		}
+	// The network profiles target internal/dist's control plane. For
+	// them `stages` bounds the connection ordinal (one initial
+	// connection per worker, workers join in ordinal order) and
+	// horizonSec is the expected wall-clock run length, not simulated
+	// time. Frame-count triggers keep the conn-drop profile's injected
+	// fault count — and hence the exported metrics — byte-reproducible
+	// regardless of wall-clock jitter.
+	case ProfileConnDrop:
+		s.Faults = []Fault{{
+			Kind: KindConnDrop, Conn: stage(), AfterFrames: 4 + rng.Intn(8),
+		}}
+	case ProfilePartition:
+		s.Faults = []Fault{{
+			Kind: KindPartition, Conn: -1, AtSec: at(), DurationSec: window(),
+		}}
+	case ProfileNetDelay:
+		s.Faults = []Fault{{
+			Kind: KindNetDelay, Conn: -1, AtSec: at(),
+			DelaySec: 0.01 + 0.04*rng.Float64(), DurationSec: window(),
+		}}
 	default:
 		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, Profiles())
 	}

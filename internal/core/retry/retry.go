@@ -8,8 +8,10 @@
 package retry
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Policy bounds one retry loop.
@@ -115,4 +117,59 @@ func (p Policy) Do(seed int64, op func(attempt int) error, sleep func(delaySec f
 		}
 	}
 	return last
+}
+
+// DoContext is Do with cancellation: the loop stops as soon as ctx is
+// done — before an attempt, or mid-backoff when sleep honours the
+// context (WallSleep does). Delays stay the pure (policy, seed, attempt)
+// function of Do, so the attempt count up to any cancellation point is
+// deterministic. On cancellation the context error is returned, wrapped
+// over the last op error (errors.Is finds either).
+func (p Policy) DoContext(ctx context.Context, seed int64, op func(attempt int) error, sleep func(ctx context.Context, delaySec float64) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return canceled(err, last)
+		}
+		if last = op(attempt); last == nil {
+			return nil
+		}
+		if attempt < p.MaxAttempts && sleep != nil {
+			if err := sleep(ctx, p.DelaySec(seed, attempt)); err != nil {
+				return canceled(err, last)
+			}
+		}
+	}
+	return last
+}
+
+// canceled folds the context error over the last attempt's error.
+func canceled(ctxErr, last error) error {
+	if last == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("%w (last attempt: %w)", ctxErr, last)
+}
+
+// WallSleep blocks for delaySec of wall-clock time or until ctx is done,
+// whichever comes first, returning the context error when interrupted.
+// It is the real-time sleep injected into DoContext by consumers whose
+// backoff must yield to an external deadline — the distributed control
+// plane's reconnect loop aborting when the coordinator's round deadline
+// or its lease fires.
+func WallSleep(ctx context.Context, delaySec float64) error {
+	if delaySec <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(time.Duration(delaySec * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

@@ -1,0 +1,735 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/assigner"
+	"repro/internal/costmodel"
+	"repro/internal/failover"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+)
+
+// Config parameterizes one coordinator run.
+type Config struct {
+	// Listener accepts worker connections; the caller owns binding (and
+	// may wrap it with NewFaultListener). Serve closes it.
+	Listener net.Listener
+	// Workers is the membership size Serve waits for before running.
+	Workers int
+
+	Spec *assigner.Spec
+	Plan *assigner.Plan
+	// Timer prices replans and any locally evaluated stage times; nil
+	// uses the roofline profiler, matching the workers' default.
+	Timer assigner.LayerTimer
+
+	// Heartbeat is the interval workers beacon at (shipped in the
+	// welcome) and the lease sweeper's tick. Default 500ms.
+	Heartbeat time.Duration
+	// Lease is how long a worker may stay silent before it is declared
+	// permanently lost. A detached worker that reattaches within the
+	// lease resumes seamlessly. Default 4×Heartbeat.
+	Lease time.Duration
+	// RoundDeadline bounds each remote stage-time evaluation; the worker
+	// aborts and reports rather than answering late. 0 disables
+	// deadlines. Default 10s.
+	RoundDeadline time.Duration
+	// DeadlineRetries is how many aborted/timed-out evaluations of one
+	// task the coordinator retries before failing the run. Default 2.
+	DeadlineRetries int
+	// JoinTimeout bounds the initial membership barrier. Default 30s.
+	JoinTimeout time.Duration
+
+	// Obs is the deterministic (simulated-time) registry: engine and
+	// failover families plus the dist counters whose values are pure
+	// functions of the run — successful stage calls, the worker gauge,
+	// injected conn drops. Safe to byte-diff across runs.
+	Obs *obs.Registry
+	// CtrlObs is the wall-clock control-plane registry: heartbeats,
+	// lease expiries, deadline aborts, resends, frame/byte counts. Never
+	// part of a diffed artifact.
+	CtrlObs *obs.Registry
+	Spans   *obs.SpanRecorder
+	Trace   bool
+
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Heartbeat <= 0 {
+		out.Heartbeat = 500 * time.Millisecond
+	}
+	if out.Lease <= 0 {
+		out.Lease = 4 * out.Heartbeat
+	}
+	if out.RoundDeadline < 0 {
+		out.RoundDeadline = 0
+	} else if out.RoundDeadline == 0 {
+		out.RoundDeadline = 10 * time.Second
+	}
+	if out.DeadlineRetries <= 0 {
+		out.DeadlineRetries = 2
+	}
+	if out.JoinTimeout <= 0 {
+		out.JoinTimeout = 30 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Result summarizes one coordinated run; it mirrors failover.Report so
+// the multi-process path reports exactly what the in-process controller
+// would.
+type Result struct {
+	// First is the initial run's stats; zero when Replanned (the engine
+	// halted — Lost describes the partial run).
+	First rt.Stats
+	// Replanned reports a permanent worker loss was healed mid-run.
+	Replanned bool
+	Lost      *rt.DeviceLostError
+	// LostWorker names the worker whose lease expired.
+	LostWorker string
+	// LostDevice names the physical device declared lost with it.
+	LostDevice   string
+	DegradedPlan *assigner.Plan
+	MovedLayers  int
+	Migration    costmodel.MigrationBreakdown
+	// Resumed is the watermark-resumed run on the degraded plan.
+	Resumed rt.Stats
+	// TotalTokens is durable-at-loss plus resumed output; equals a clean
+	// run's TokensOut exactly.
+	TotalTokens     int
+	TotalLatencySec float64
+}
+
+// errMemberLost signals a lease expiry to a waiting stage call.
+var errMemberLost = errors.New("dist: worker lease expired")
+
+// errAwaitTimeout signals a request that outlived its generous wait.
+var errAwaitTimeout = errors.New("dist: request timed out")
+
+// errConnClosed signals the request's connection died before the
+// response arrived; the caller resends after the reattach.
+var errConnClosed = errors.New("dist: connection closed mid-request")
+
+// memberState tracks one worker through the lease state machine:
+// joining (hello seen) → active (conn up) ⇄ detached (conn down, lease
+// running) → lost (lease expired; terminal).
+type member struct {
+	name  string
+	token string
+
+	mu         sync.Mutex
+	conn       *wire
+	lastHeard  time.Time
+	lost       bool
+	reattached chan struct{} // replaced on detach, closed on attach
+	lostCh     chan struct{} // closed once on lease expiry
+}
+
+func (m *member) touch() {
+	m.mu.Lock()
+	m.lastHeard = time.Now()
+	m.mu.Unlock()
+}
+
+func (m *member) attach(w *wire) {
+	m.mu.Lock()
+	old := m.conn
+	m.conn = w
+	m.lastHeard = time.Now()
+	if m.reattached != nil {
+		close(m.reattached)
+		m.reattached = nil
+	}
+	m.mu.Unlock()
+	if old != nil && old != w {
+		old.close()
+	}
+}
+
+// detachIf drops the connection only if w is still current — a stale
+// reader racing a reattach must not clobber the fresh connection.
+func (m *member) detachIf(w *wire) {
+	m.mu.Lock()
+	if m.conn == w {
+		m.conn = nil
+		m.reattached = make(chan struct{})
+	}
+	m.mu.Unlock()
+	w.close()
+}
+
+// markLost transitions to the terminal state; idempotent.
+func (m *member) markLost() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lost {
+		return false
+	}
+	m.lost = true
+	if m.conn != nil {
+		m.conn.close()
+		m.conn = nil
+	}
+	close(m.lostCh)
+	return true
+}
+
+// awaitConn returns the member's live connection, waiting through a
+// detach window; it fails with errMemberLost once the lease expires.
+func (m *member) awaitConn(ctx context.Context) (*wire, error) {
+	for {
+		m.mu.Lock()
+		if m.lost {
+			m.mu.Unlock()
+			return nil, errMemberLost
+		}
+		if m.conn != nil {
+			w := m.conn
+			m.mu.Unlock()
+			return w, nil
+		}
+		re := m.reattached
+		m.mu.Unlock()
+		select {
+		case <-re:
+		case <-m.lostCh:
+			return nil, errMemberLost
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+type coordinator struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	members map[string]*member
+	owners  []*member // stage index → serving member
+	payload *PlanPayload
+	tokens  int
+
+	joinOnce sync.Once
+	joined   chan struct{}
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *Message
+	idSeq   atomic.Uint64
+
+	// Deterministic counters (sim registry).
+	stageCalls *obs.Counter
+}
+
+// Serve runs one offline workload on the distributed control plane:
+// wait for the membership, drive the deterministic engine with remote
+// stage-time evaluation, and — on a permanent worker loss — replan on
+// the survivors and resume from the token watermark.
+func Serve(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Listener == nil {
+		return nil, fmt.Errorf("dist: coordinator needs a listener")
+	}
+	defer cfg.Listener.Close()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.Spec == nil || cfg.Plan == nil {
+		return nil, fmt.Errorf("dist: coordinator needs a spec and plan")
+	}
+	if err := cfg.Plan.Validate(cfg.Spec); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	co := &coordinator{
+		cfg:     cfg,
+		members: make(map[string]*member),
+		payload: NewPlanPayload(cfg.Spec, cfg.Plan),
+		joined:  make(chan struct{}),
+		pending: make(map[uint64]chan *Message),
+	}
+	if cfg.Obs != nil {
+		co.stageCalls = cfg.Obs.Counter("llmpq_dist_stage_calls_total")
+	}
+	co.ctx, co.cancel = context.WithCancel(ctx)
+	defer co.cancel()
+	go co.acceptLoop()
+	go co.sweeper()
+
+	joinTimer := time.NewTimer(cfg.JoinTimeout)
+	defer joinTimer.Stop()
+	select {
+	case <-co.joined:
+	case <-joinTimer.C:
+		return nil, fmt.Errorf("dist: only %d of %d workers joined within %s",
+			co.memberCount(), cfg.Workers, cfg.JoinTimeout)
+	case <-co.ctx.Done():
+		return nil, co.ctx.Err()
+	}
+	live := co.liveMembers()
+	co.assignStages(cfg.Plan, live)
+	co.setWorkersGauge(len(live))
+	cfg.Logf("membership complete: %d workers, %d stages", len(live), cfg.Plan.NumStages())
+
+	eng, err := rt.NewEngine(cfg.Spec, cfg.Plan, cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	eng.StageTimer = co.stageTime
+	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+	stats, err := eng.Run()
+	if err == nil {
+		co.shutdown("done")
+		return &Result{First: stats, TotalTokens: stats.TokensOut, TotalLatencySec: stats.LatencySec}, nil
+	}
+	var lost *rt.DeviceLostError
+	if !errors.As(err, &lost) {
+		co.shutdown("failed")
+		return nil, err
+	}
+	res, ferr := co.failover(lost)
+	if ferr != nil {
+		co.shutdown("failover failed")
+		return nil, ferr
+	}
+	co.shutdown("done")
+	return res, nil
+}
+
+// failover heals a permanent worker loss: replan on the reduced
+// cluster, reconfigure the survivors, reassign stages, and resume the
+// engine from the watermark.
+func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
+	cfg := co.cfg
+	deadName := ""
+	co.mu.Lock()
+	if lost.Stage < len(co.owners) {
+		deadName = co.owners[lost.Stage].name
+	}
+	co.mu.Unlock()
+	cfg.Logf("worker %s lost (stage %d, device %d) at %.3fs; replanning on survivors",
+		deadName, lost.Stage, lost.Device, lost.AtSec)
+
+	out, err := failover.Replan(cfg.Spec, cfg.Plan, cfg.Timer, lost, cfg.Obs, cfg.Spans)
+	if err != nil {
+		return nil, err
+	}
+	survivors := co.liveMembers()
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("dist: no surviving workers to resume on")
+	}
+	payload := NewPlanPayload(out.Degraded, out.Plan)
+	co.mu.Lock()
+	co.payload = payload
+	co.mu.Unlock()
+	for _, m := range survivors {
+		if err := co.reconfigure(m, payload); err != nil {
+			return nil, fmt.Errorf("dist: reconfigure %s: %w", m.name, err)
+		}
+	}
+	co.assignStages(out.Plan, survivors)
+	co.setWorkersGauge(len(survivors))
+	cfg.Logf("replanned: %d stages on %d survivors, %d layers migrate (%.0f bytes), resume round %d",
+		out.Plan.NumStages(), len(survivors), out.MovedLayers, out.Migration.TotalBytes, out.StartRound)
+
+	eng, err := rt.NewEngine(out.Degraded, out.Plan, cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	eng.StartRound = out.StartRound
+	eng.StageTimer = co.stageTime
+	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+	resumed, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("dist: resumed run failed: %w", err)
+	}
+	return &Result{
+		Replanned:       true,
+		Lost:            lost,
+		LostWorker:      deadName,
+		LostDevice:      out.LostDevice,
+		DegradedPlan:    out.Plan,
+		MovedLayers:     out.MovedLayers,
+		Migration:       out.Migration,
+		Resumed:         resumed,
+		TotalTokens:     out.DurableTokens + resumed.TokensOut,
+		TotalLatencySec: lost.AtSec + out.Migration.TransferSec + resumed.LatencySec,
+	}, nil
+}
+
+// stageTime is the Engine.StageTimer callback: evaluate one task on the
+// worker owning the stage, surviving detach windows and deadline
+// aborts, and converting a lease expiry into a StageLostError.
+func (co *coordinator) stageTime(stage, batch, round int, prefill bool) (float64, error) {
+	co.mu.Lock()
+	if stage >= len(co.owners) {
+		co.mu.Unlock()
+		return 0, fmt.Errorf("dist: stage %d has no assigned worker", stage)
+	}
+	m := co.owners[stage]
+	co.mu.Unlock()
+
+	aborts := 0
+	for {
+		w, err := m.awaitConn(co.ctx)
+		if errors.Is(err, errMemberLost) {
+			return 0, &rt.StageLostError{Stage: stage}
+		}
+		if err != nil {
+			return 0, err
+		}
+		id := co.idSeq.Add(1)
+		ch := co.register(id)
+		req := &StageTimeRequest{Stage: stage, Batch: batch, Round: round, Prefill: prefill}
+		if co.cfg.RoundDeadline > 0 {
+			req.DeadlineUnixNano = time.Now().Add(co.cfg.RoundDeadline).UnixNano()
+		}
+		if err := w.send(&Message{Type: MsgStageTime, ID: id, StageTime: req}); err != nil {
+			co.unregister(id)
+			m.detachIf(w)
+			co.ctrlInc("llmpq_dist_stage_resends_total")
+			continue
+		}
+		// The response must arrive within deadline + lease: either the
+		// worker answers (possibly with an abort), the connection dies
+		// (resend after reattach), or the lease expires.
+		msg, err := co.await(id, ch, m, w, co.cfg.RoundDeadline+co.cfg.Lease)
+		switch {
+		case errors.Is(err, errMemberLost):
+			return 0, &rt.StageLostError{Stage: stage}
+		case errors.Is(err, errConnClosed):
+			co.ctrlInc("llmpq_dist_stage_resends_total")
+			continue
+		case errors.Is(err, errAwaitTimeout):
+			// Conn is up but the worker went mute; force a reconnect and
+			// charge a deadline strike.
+			m.detachIf(w)
+			co.ctrlInc("llmpq_dist_deadline_aborts_total")
+			aborts++
+			if aborts > co.cfg.DeadlineRetries {
+				return 0, fmt.Errorf("dist: stage %d task exceeded its %s deadline %d times", stage, co.cfg.RoundDeadline, aborts)
+			}
+			continue
+		case err != nil:
+			return 0, err
+		}
+		res := msg.StageTimeResult
+		if res.Aborted {
+			co.ctrlInc("llmpq_dist_deadline_aborts_total")
+			aborts++
+			if aborts > co.cfg.DeadlineRetries {
+				return 0, fmt.Errorf("dist: stage %d task exceeded its %s deadline %d times", stage, co.cfg.RoundDeadline, aborts)
+			}
+			continue
+		}
+		if res.Err != "" {
+			return 0, fmt.Errorf("dist: worker %s stage %d: %s", m.name, stage, res.Err)
+		}
+		if co.stageCalls != nil {
+			co.stageCalls.Inc()
+		}
+		return res.Seconds, nil
+	}
+}
+
+// await blocks until the pending request id resolves, the request's
+// connection dies, the member is lost, the wait elapses, or the
+// coordinator stops.
+func (co *coordinator) await(id uint64, ch chan *Message, m *member, w *wire, wait time.Duration) (*Message, error) {
+	var tC <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		tC = t.C
+	}
+	select {
+	case msg := <-ch:
+		return msg, nil
+	case <-w.closed():
+		co.unregister(id)
+		return nil, errConnClosed
+	case <-m.lostCh:
+		co.unregister(id)
+		return nil, errMemberLost
+	case <-tC:
+		co.unregister(id)
+		return nil, errAwaitTimeout
+	case <-co.ctx.Done():
+		co.unregister(id)
+		return nil, co.ctx.Err()
+	}
+}
+
+// reconfigure ships a new plan payload to one member and waits for the
+// acknowledgement, resending across transient disconnects.
+func (co *coordinator) reconfigure(m *member, payload *PlanPayload) error {
+	for {
+		w, err := m.awaitConn(co.ctx)
+		if err != nil {
+			return err
+		}
+		id := co.idSeq.Add(1)
+		ch := co.register(id)
+		if err := w.send(&Message{Type: MsgReconfigure, ID: id, Reconfigure: payload}); err != nil {
+			co.unregister(id)
+			m.detachIf(w)
+			continue
+		}
+		_, err = co.await(id, ch, m, w, co.cfg.RoundDeadline+co.cfg.Lease)
+		if errors.Is(err, errConnClosed) {
+			continue
+		}
+		return err
+	}
+}
+
+func (co *coordinator) register(id uint64) chan *Message {
+	ch := make(chan *Message, 1)
+	co.pmu.Lock()
+	co.pending[id] = ch
+	co.pmu.Unlock()
+	return ch
+}
+
+func (co *coordinator) unregister(id uint64) {
+	co.pmu.Lock()
+	delete(co.pending, id)
+	co.pmu.Unlock()
+}
+
+// route delivers a response frame to its waiting request; late
+// responses to abandoned ids are dropped.
+func (co *coordinator) route(msg *Message) {
+	co.pmu.Lock()
+	ch := co.pending[msg.ID]
+	delete(co.pending, msg.ID)
+	co.pmu.Unlock()
+	if ch != nil {
+		ch <- msg
+	}
+}
+
+// acceptLoop admits connections until the coordinator stops.
+func (co *coordinator) acceptLoop() {
+	for {
+		c, err := co.cfg.Listener.Accept()
+		if err != nil {
+			if co.ctx.Err() != nil {
+				return
+			}
+			// The listener may surface transient errors (including
+			// injected partitions); keep accepting until shutdown.
+			select {
+			case <-co.ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		go co.handleConn(c)
+	}
+}
+
+// handleConn runs the handshake and then the per-connection read loop.
+func (co *coordinator) handleConn(c net.Conn) {
+	w := newWire(c, co.cfg.CtrlObs)
+	_ = c.SetReadDeadline(time.Now().Add(co.cfg.Lease))
+	msg, err := w.recv()
+	_ = c.SetReadDeadline(time.Time{})
+	if err != nil || msg.Type != MsgHello {
+		w.close()
+		return
+	}
+	h := msg.Hello
+	if h.Version != ProtocolVersion {
+		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{
+			Reason: fmt.Sprintf("protocol version %d, coordinator speaks %d", h.Version, ProtocolVersion)}})
+		w.close()
+		return
+	}
+	m, reject := co.admit(h)
+	if reject != "" {
+		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{Reason: reject}})
+		w.close()
+		return
+	}
+	m.attach(w)
+	co.mu.Lock()
+	payload := co.payload
+	co.mu.Unlock()
+	welcome := &Welcome{
+		Token:        m.token,
+		HeartbeatSec: co.cfg.Heartbeat.Seconds(),
+		LeaseSec:     co.cfg.Lease.Seconds(),
+		Plan:         payload,
+	}
+	if err := w.send(&Message{Type: MsgWelcome, Welcome: welcome}); err != nil {
+		m.detachIf(w)
+		return
+	}
+	co.cfg.Logf("worker %s attached", m.name)
+
+	for {
+		msg, err := w.recv()
+		if err != nil {
+			m.detachIf(w)
+			co.cfg.Logf("worker %s detached: %v", m.name, err)
+			return
+		}
+		m.touch()
+		switch msg.Type {
+		case MsgHeartbeat:
+			co.ctrlInc("llmpq_dist_heartbeats_received_total")
+		case MsgStageTimeResult, MsgReconfigureOK:
+			co.route(msg)
+		case MsgBye:
+			m.detachIf(w)
+			return
+		default:
+			// Unknown frames renew the lease and are otherwise ignored —
+			// forward compatibility within a protocol version.
+		}
+	}
+}
+
+// admit resolves a hello into a member or a rejection reason.
+func (co *coordinator) admit(h *Hello) (*member, string) {
+	if h.Name == "" {
+		return nil, "worker name must not be empty"
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if m, ok := co.members[h.Name]; ok {
+		if m.token != h.Token {
+			return nil, fmt.Sprintf("worker name %q is taken", h.Name)
+		}
+		m.mu.Lock()
+		lost := m.lost
+		m.mu.Unlock()
+		if lost {
+			return nil, fmt.Sprintf("worker %q lease expired; membership is closed", h.Name)
+		}
+		return m, ""
+	}
+	if len(co.members) >= co.cfg.Workers {
+		return nil, fmt.Sprintf("cluster is full (%d workers)", co.cfg.Workers)
+	}
+	co.tokens++
+	m := &member{
+		name:   h.Name,
+		token:  fmt.Sprintf("lease-%d-%s", co.tokens, h.Name),
+		lostCh: make(chan struct{}),
+	}
+	m.lastHeard = time.Now()
+	co.members[h.Name] = m
+	if len(co.members) == co.cfg.Workers {
+		co.joinOnce.Do(func() { close(co.joined) })
+	}
+	return m, ""
+}
+
+// sweeper expires leases: any member silent past the lease is declared
+// permanently lost, which unblocks waiting stage calls with
+// StageLostError and drives the failover path.
+func (co *coordinator) sweeper() {
+	tick := time.NewTicker(co.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-co.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		co.mu.Lock()
+		members := make([]*member, 0, len(co.members))
+		for _, m := range co.members {
+			members = append(members, m)
+		}
+		co.mu.Unlock()
+		for _, m := range members {
+			m.mu.Lock()
+			expired := !m.lost && now.Sub(m.lastHeard) > co.cfg.Lease
+			m.mu.Unlock()
+			if expired && m.markLost() {
+				co.ctrlInc("llmpq_dist_lease_expiries_total")
+				co.cfg.Logf("worker %s lease expired (silent > %s)", m.name, co.cfg.Lease)
+			}
+		}
+	}
+}
+
+// assignStages maps the plan's stages round-robin over the members in
+// name order — a pure function of (plan, membership), so every
+// coordinator restart with the same workers reproduces it.
+func (co *coordinator) assignStages(p *assigner.Plan, members []*member) {
+	owners := make([]*member, p.NumStages())
+	for j := range owners {
+		owners[j] = members[j%len(members)]
+	}
+	co.mu.Lock()
+	co.owners = owners
+	co.mu.Unlock()
+}
+
+// liveMembers returns the not-lost members sorted by name.
+func (co *coordinator) liveMembers() []*member {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var out []*member
+	for _, m := range co.members {
+		m.mu.Lock()
+		lost := m.lost
+		m.mu.Unlock()
+		if !lost {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (co *coordinator) memberCount() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.members)
+}
+
+// shutdown says goodbye to every live worker and stops the loops.
+func (co *coordinator) shutdown(reason string) {
+	for _, m := range co.liveMembers() {
+		m.mu.Lock()
+		w := m.conn
+		m.mu.Unlock()
+		if w != nil {
+			_ = w.send(&Message{Type: MsgBye, Bye: &Bye{Reason: reason}})
+		}
+	}
+	co.cancel()
+}
+
+func (co *coordinator) setWorkersGauge(n int) {
+	if co.cfg.Obs != nil {
+		co.cfg.Obs.Gauge("llmpq_dist_workers").Set(float64(n))
+	}
+}
+
+func (co *coordinator) ctrlInc(name string) {
+	if co.cfg.CtrlObs != nil {
+		co.cfg.CtrlObs.Counter(name).Inc()
+	}
+}

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// NewFaultListener wraps a listener so the schedule's network faults
+// (chaos.KindConnDrop, KindPartition, KindNetDelay) are realized at the
+// transport layer of every accepted connection:
+//
+//   - conn-drop severs the fault's accepted-connection ordinal after it
+//     has delivered AfterFrames complete frames — a frame count, not a
+//     timestamp, so the trigger point is deterministic;
+//   - partition makes reads and writes on matching connections fail
+//     during [AtSec, AtSec+DurationSec) measured from the wrap;
+//   - net-delay stalls each read on matching connections by DelaySec
+//     inside its window.
+//
+// Connections sever by closing, so the peer observes an ordinary
+// connection reset and exercises its real reconnect path. sim, when
+// non-nil, receives llmpq_dist_injected_conn_drops_total — conn drops
+// trip at a deterministic frame count, so the counter is safe for
+// byte-diffed artifacts; ctrl receives the wall-clock-dependent
+// partition and delay trip counters. A schedule with no network faults
+// returns inner unchanged.
+func NewFaultListener(inner net.Listener, sched *chaos.Schedule, sim, ctrl *obs.Registry) net.Listener {
+	nf := sched.NetFaults()
+	if len(nf) == 0 {
+		return inner
+	}
+	return &faultListener{Listener: inner, faults: nf, start: time.Now(), sim: sim, ctrl: ctrl}
+}
+
+type faultListener struct {
+	net.Listener
+	faults []chaos.Fault
+	start  time.Time
+	sim    *obs.Registry
+	ctrl   *obs.Registry
+
+	mu       sync.Mutex
+	accepted int
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	c, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fl.mu.Lock()
+	ord := fl.accepted
+	fl.accepted++
+	fl.mu.Unlock()
+
+	fc := &faultConn{Conn: c, fl: fl, ord: ord}
+	for i := range fl.faults {
+		f := &fl.faults[i]
+		switch f.Kind {
+		case chaos.KindConnDrop:
+			if f.Conn == ord {
+				fc.drop = f
+			}
+		case chaos.KindPartition:
+			if f.Conn == -1 || f.Conn == ord {
+				fc.partitions = append(fc.partitions, f)
+			}
+		case chaos.KindNetDelay:
+			if f.Conn == -1 || f.Conn == ord {
+				fc.delays = append(fc.delays, f)
+			}
+		}
+	}
+	return fc, nil
+}
+
+// faultConn applies the matched faults to one accepted connection. The
+// embedded frame parser counts completed frames delivered to the
+// coordinator so a conn-drop severs at an exact, reproducible point in
+// the conversation.
+type faultConn struct {
+	net.Conn
+	fl  *faultListener
+	ord int
+
+	drop       *chaos.Fault
+	partitions []*chaos.Fault
+	delays     []*chaos.Fault
+
+	// Frame-parser state over the read byte stream.
+	hdr     [4]byte
+	hdrGot  int
+	payload int // payload bytes still owed for the current frame
+	frames  int
+	dropped bool
+}
+
+// elapsedSec is wall time since the listener was armed.
+func (fc *faultConn) elapsedSec() float64 { return time.Since(fc.fl.start).Seconds() }
+
+// partitioned reports whether any matching partition window covers now.
+func (fc *faultConn) partitioned() bool {
+	at := fc.elapsedSec()
+	for _, f := range fc.partitions {
+		if at >= f.AtSec && at < f.AtSec+f.DurationSec {
+			return true
+		}
+	}
+	return false
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if fc.dropped {
+		return 0, fmt.Errorf("dist: connection %d severed by injected conn-drop", fc.ord)
+	}
+	if fc.partitioned() {
+		fc.trip(fc.fl.ctrl, "llmpq_dist_partition_severs_total")
+		_ = fc.Conn.Close()
+		return 0, fmt.Errorf("dist: connection %d severed by injected partition", fc.ord)
+	}
+	at := fc.elapsedSec()
+	for _, f := range fc.delays {
+		if at >= f.AtSec && at < f.AtSec+f.DurationSec {
+			fc.trip(fc.fl.ctrl, "llmpq_dist_delayed_reads_total")
+			time.Sleep(time.Duration(f.DelaySec * float64(time.Second)))
+			break
+		}
+	}
+	n, err := fc.Conn.Read(p)
+	if n > 0 && fc.drop != nil {
+		fc.countFrames(p[:n])
+		if fc.frames >= fc.drop.AfterFrames {
+			fc.dropped = true
+			fc.trip(fc.fl.sim, "llmpq_dist_injected_conn_drops_total")
+			_ = fc.Conn.Close()
+			// The bytes already read are delivered; the very next use of
+			// the connection observes the severing.
+		}
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if fc.dropped {
+		return 0, fmt.Errorf("dist: connection %d severed by injected conn-drop", fc.ord)
+	}
+	if fc.partitioned() {
+		fc.trip(fc.fl.ctrl, "llmpq_dist_partition_severs_total")
+		_ = fc.Conn.Close()
+		return 0, fmt.Errorf("dist: connection %d severed by injected partition", fc.ord)
+	}
+	return fc.Conn.Write(p)
+}
+
+// countFrames advances the frame parser over a read chunk.
+func (fc *faultConn) countFrames(b []byte) {
+	for len(b) > 0 {
+		if fc.payload == 0 {
+			// Reading the 4-byte length prefix.
+			n := copy(fc.hdr[fc.hdrGot:], b)
+			fc.hdrGot += n
+			b = b[n:]
+			if fc.hdrGot == 4 {
+				fc.payload = int(binary.BigEndian.Uint32(fc.hdr[:]))
+				fc.hdrGot = 0
+			}
+			continue
+		}
+		n := fc.payload
+		if n > len(b) {
+			n = len(b)
+		}
+		fc.payload -= n
+		b = b[n:]
+		if fc.payload == 0 {
+			fc.frames++
+		}
+	}
+}
+
+func (fc *faultConn) trip(reg *obs.Registry, name string) {
+	if reg != nil {
+		reg.Counter(name).Inc()
+	}
+}

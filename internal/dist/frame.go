@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// MaxFrameBytes bounds a single frame: a 4-byte big-endian length
+// prefix followed by that many bytes of JSON. Plan payloads for even
+// very large clusters are well under a megabyte; the cap exists so a
+// corrupt or hostile length prefix cannot make a reader allocate
+// gigabytes.
+const MaxFrameBytes = 8 << 20
+
+// writeFrame emits one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("dist: refusing to write an empty frame")
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte cap", len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dist: zero-length frame")
+	}
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte cap", n, MaxFrameBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// wire is one framed JSON connection. Sends are serialized by a mutex
+// so the heartbeat goroutine and request senders interleave whole
+// frames; receives belong to a single reader goroutine.
+type wire struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+
+	// closedCh fires once when the wire is torn down, letting a request
+	// waiting on this connection resend promptly instead of riding out
+	// its full deadline.
+	closedCh  chan struct{}
+	closeOnce sync.Once
+
+	// Control-plane accounting (wall-clock dependent, never part of the
+	// deterministic artifact): frames and bytes sent on this side.
+	frames *obs.Counter
+	bytes  *obs.Counter
+}
+
+// newWire wraps a connection. ctrl may be nil for an uninstrumented
+// link.
+func newWire(c net.Conn, ctrl *obs.Registry) *wire {
+	w := &wire{c: c, br: bufio.NewReader(c), closedCh: make(chan struct{})}
+	if ctrl != nil {
+		w.frames = ctrl.Counter("llmpq_dist_frames_sent_total")
+		w.bytes = ctrl.Counter("llmpq_dist_bytes_sent_total")
+	}
+	return w
+}
+
+// send marshals and writes one message as a frame.
+func (w *wire) send(m *Message) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if err := writeFrame(w.c, b); err != nil {
+		return err
+	}
+	if w.frames != nil {
+		w.frames.Inc()
+		w.bytes.Add(float64(len(b) + 4))
+	}
+	return nil
+}
+
+// recv reads and unmarshals one message.
+func (w *wire) recv() (*Message, error) {
+	b, err := readFrame(w.br)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("dist: bad frame: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// close tears the connection down; safe to call more than once.
+func (w *wire) close() {
+	w.closeOnce.Do(func() { close(w.closedCh) })
+	_ = w.c.Close()
+}
+
+// closed fires once the wire is torn down.
+func (w *wire) closed() <-chan struct{} { return w.closedCh }

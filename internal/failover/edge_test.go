@@ -1,0 +1,164 @@
+package failover
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/assigner"
+	"repro/internal/chaos"
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	rt "repro/internal/runtime"
+)
+
+var edgeModel = model.Config{
+	Name: "fo-test", Family: model.OPT, Hidden: 2048, FFN: 8192,
+	Layers: 8, Heads: 16, VocabSize: 50272, MaxPosEmb: 2048, TiedEmbed: true,
+}
+
+func edgeGPU(name string, memGB float64) hardware.GPU {
+	return hardware.GPU{
+		Name: name, MemoryGB: memGB, FP16TFLOPS: 50, BandwidthGBs: 600,
+		ComputeEff:       map[int]float64{3: 0.45, 4: 0.5, 8: 0.8, 16: 1.0},
+		MemEff:           map[int]float64{3: 0.7, 4: 0.78, 8: 0.91, 16: 1.0},
+		LaunchOverheadUS: 10,
+	}
+}
+
+// edgeSpec builds a two-node toy cluster (one device per node, memA and
+// memB gigabytes) serving edgeModel — small enough that feasibility
+// flips with device memory.
+func edgeSpec(memA, memB float64) *assigner.Spec {
+	full := indicator.Synthetic(edgeModel, []int{3, 4, 8, 16}, 7)
+	omega := indicator.Omega{Bits: []int{4, 8, 16}}
+	for l := 0; l < full.Layers(); l++ {
+		row := make([]float64, 3)
+		for i, b := range []int{4, 8, 16} {
+			v, _ := full.At(l, b)
+			row[i] = v
+		}
+		omega.Values = append(omega.Values, row)
+	}
+	return &assigner.Spec{
+		Cfg: edgeModel,
+		Cluster: hardware.Cluster{
+			Name: "fo-edge", InterNode: hardware.Eth800Gbps,
+			Devices: []hardware.Device{
+				{ID: 0, GPU: edgeGPU("gpuA", memA), Node: 0},
+				{ID: 1, GPU: edgeGPU("gpuB", memB), Node: 1},
+			},
+		},
+		Work:   assigner.Workload{GlobalBatch: 8, Prompt: 128, Generate: 16},
+		Bits:   []int{4, 8, 16},
+		Omega:  omega,
+		Theta:  0.01,
+		Method: assigner.MethodDP,
+	}
+}
+
+// TestFailoverOnlyDeviceOnNode: losing the only device of a node leaves
+// a reduced cluster with that node absent entirely; the replanned run
+// still conserves every token.
+func TestFailoverOnlyDeviceOnNode(t *testing.T) {
+	spec := edgeSpec(3.0, 3.0)
+	res, err := assigner.Optimize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := (&rt.Engine{Spec: spec, Plan: res.Plan, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 is the only device on node 1.
+	lostStage := -1
+	for j, d := range res.Plan.Order {
+		if d == 1 {
+			lostStage = j
+		}
+	}
+	if lostStage < 0 {
+		t.Fatal("plan does not place device 1")
+	}
+	ctl := &Controller{Spec: spec, Plan: res.Plan, Timer: assigner.ProfilerTimer{}}
+	rep, err := ctl.Run(&chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.KindCrash, Stage: lostStage, AtSec: clean.LatencySec * 0.6, Permanent: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replanned {
+		t.Fatal("expected a replan")
+	}
+	for _, d := range rep.DegradedPlan.Order {
+		if d != 0 {
+			t.Errorf("degraded plan uses device %d, want only the survivor", d)
+		}
+	}
+	if rep.TotalTokens != clean.TokensOut {
+		t.Errorf("total tokens %d, want %d", rep.TotalTokens, clean.TokensOut)
+	}
+}
+
+// TestReplanPrefillLossHasNoKVTerm: calling the exported Replan step for
+// a loss before prefill completed prices weights only — no KV migration
+// term, resume from round zero, zero durable tokens.
+func TestReplanPrefillLossHasNoKVTerm(t *testing.T) {
+	spec := edgeSpec(3.0, 3.0)
+	res, err := assigner.Optimize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := &rt.DeviceLostError{Stage: 0, Device: res.Plan.Order[0], AtSec: 1e-4, PrefillDone: false}
+	out, err := Replan(spec, res.Plan, assigner.ProfilerTimer{}, lost, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.StartRound != 0 || out.DurableTokens != 0 {
+		t.Errorf("prefill loss must resume from scratch: start %d durable %d", out.StartRound, out.DurableTokens)
+	}
+	if out.Migration.KVBytes != 0 {
+		t.Errorf("no KV to migrate before prefill, got %.0f bytes", out.Migration.KVBytes)
+	}
+	if out.MovedLayers > 0 && out.Migration.WeightBytes <= 0 {
+		t.Errorf("moved %d layers but zero weight bytes", out.MovedLayers)
+	}
+}
+
+// TestReplanInfeasibleSurfacesDeviceLoss: when the reduced cluster
+// cannot hold the model at any precision, the controller returns a clean
+// *ReplanFailedError with the original *DeviceLostError still reachable
+// via errors.As — and terminates rather than deadlocking.
+func TestReplanInfeasibleSurfacesDeviceLoss(t *testing.T) {
+	// 0.5 GB per device: feasible split across two, hopeless on one.
+	spec := edgeSpec(0.5, 0.5)
+	res, err := assigner.Optimize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := (&rt.Engine{Spec: spec, Plan: res.Plan, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := &Controller{Spec: spec, Plan: res.Plan, Timer: assigner.ProfilerTimer{}}
+	_, err = ctl.Run(&chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.KindCrash, Stage: 0, AtSec: clean.LatencySec * 0.5, Permanent: true},
+	}})
+	if err == nil {
+		t.Fatal("replan on a hopeless survivor must fail")
+	}
+	var rf *ReplanFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("want *ReplanFailedError, got %T: %v", err, err)
+	}
+	if rf.Survivors != 1 {
+		t.Errorf("survivors %d, want 1", rf.Survivors)
+	}
+	var lost *rt.DeviceLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("DeviceLostError must stay reachable through the failure: %v", err)
+	}
+	if lost.Stage != 0 {
+		t.Errorf("lost stage %d, want 0", lost.Stage)
+	}
+}

@@ -73,6 +73,130 @@ type Report struct {
 	TotalLatencySec float64
 }
 
+// ReplanFailedError reports that a device loss could not be healed — the
+// reduced cluster admits no feasible plan. The triggering DeviceLostError
+// stays reachable through errors.As, so callers can still read the
+// watermark and durable-token count of the halt even though recovery
+// failed.
+type ReplanFailedError struct {
+	Lost *rt.DeviceLostError
+	// Survivors is the device count of the reduced cluster.
+	Survivors int
+	// Err is the planner's infeasibility error.
+	Err error
+}
+
+func (e *ReplanFailedError) Error() string {
+	return fmt.Sprintf("failover: no feasible degraded plan on %d surviving devices (lost: %v): %v",
+		e.Survivors, e.Lost, e.Err)
+}
+
+// Unwrap exposes both the planner error and the device loss to
+// errors.Is/As chains.
+func (e *ReplanFailedError) Unwrap() []error { return []error{e.Err, e.Lost} }
+
+// Outcome is one computed replan: the degraded spec and plan, the
+// migration bill, and where to resume — everything a caller needs to
+// restart execution, without the execution itself. Controller.Run
+// resumes on the in-process engine; internal/dist's coordinator
+// reconfigures its surviving workers instead.
+type Outcome struct {
+	// Degraded is a copy of the original spec on the reduced cluster.
+	Degraded *assigner.Spec
+	// Plan is the plan Optimize produced on the reduced cluster.
+	Plan *assigner.Plan
+	// OldID maps the reduced cluster's device IDs back to original IDs.
+	OldID []int
+	// LostDevice names the physical device that died.
+	LostDevice string
+	// MovedLayers counts layers whose physical home changed.
+	MovedLayers int
+	// Migration itemizes the re-shipping cost.
+	Migration costmodel.MigrationBreakdown
+	// StartRound is the watermark round the resumed run starts from (0
+	// when prefill had not completed — re-prefill from scratch).
+	StartRound int
+	// DurableTokens is the token count that survives the loss (0 before
+	// prefill completes).
+	DurableTokens int
+}
+
+// Replan closes steps 2–3 of the failover loop for one device loss:
+// re-solve on the surviving devices, diff layer homes, and cost the
+// migration. It observes the llmpq_failover_* metric families and the
+// migrate span when reg/spans are non-nil. Infeasibility surfaces as a
+// *ReplanFailedError that keeps the DeviceLostError reachable.
+func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, reg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
+	reduced, oldID, err := removeDevice(spec.Cluster, lost.Device)
+	if err != nil {
+		return nil, err
+	}
+	degraded := *spec
+	degraded.Cluster = reduced
+	res, err := assigner.Optimize(&degraded, timer)
+	if err != nil {
+		return nil, &ReplanFailedError{Lost: lost, Survivors: reduced.NumDevices(), Err: err}
+	}
+	out := &Outcome{
+		Degraded:   &degraded,
+		Plan:       res.Plan,
+		OldID:      oldID,
+		LostDevice: spec.Cluster.Devices[lost.Device].GPU.Name,
+	}
+
+	// Layers whose physical home changed must migrate: quantized weights
+	// at the new plan's precision, plus each resident request's KV state
+	// up to the watermark (none when prefill had not completed — the
+	// resumed run re-prefills from scratch).
+	oldHome := layerHomes(plan, spec.Cfg.Layers, nil)
+	newHome := layerHomes(res.Plan, spec.Cfg.Layers, oldID)
+	newBits := res.Plan.LayerBits(spec.Cfg.Layers)
+	var movedBits []int
+	for l := 0; l < spec.Cfg.Layers; l++ {
+		if newHome[l] != oldHome[l] {
+			movedBits = append(movedBits, newBits[l])
+		}
+	}
+	out.MovedLayers = len(movedBits)
+	kvSeq := 0
+	if lost.PrefillDone {
+		kvSeq = spec.Work.Prompt + lost.Watermark
+		out.StartRound = lost.Watermark
+		out.DurableTokens = lost.DurableTokens
+	}
+	out.Migration, err = costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: spec.Cfg, MovedLayerBits: movedBits, GlobalBatch: spec.Work.GlobalBatch,
+		KVSeqLen: kvSeq, KVBits: spec.KVBits, Link: spec.Cluster.InterNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	observeReplan(reg, spans, lost, out)
+	return out, nil
+}
+
+// observeReplan exports the llmpq_failover_* metrics and the migration
+// span for one computed replan.
+func observeReplan(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.DeviceLostError, out *Outcome) {
+	if reg != nil {
+		reg.Counter(metricReplans).Inc()
+		reg.Gauge(metricMovedLayers).Set(float64(out.MovedLayers))
+		reg.Gauge(metricMigrationBytes).Set(out.Migration.TotalBytes)
+		reg.Gauge(metricMigrationSecs).Set(out.Migration.TransferSec)
+		reg.Gauge(metricResumeRound).Set(float64(out.StartRound))
+	}
+	if spans != nil {
+		spans.Record(obs.Span{
+			Name: "migrate", Cat: "failover", TID: lost.Stage,
+			Start: lost.AtSec, Dur: out.Migration.TransferSec,
+			Args: map[string]string{
+				"moved_layers": fmt.Sprintf("%d", out.MovedLayers),
+				"bytes":        fmt.Sprintf("%.0f", out.Migration.TotalBytes),
+			},
+		})
+	}
+}
+
 // Controller reacts to permanent device loss by replanning on the
 // reduced cluster and resuming from the completed-token watermark.
 type Controller struct {
@@ -106,91 +230,24 @@ func (c *Controller) Run(sched *chaos.Schedule) (Report, error) {
 // replan rebuilds the pipeline after a permanent device loss and resumes
 // it from the watermark.
 func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
-	s := c.Spec
 	rep := Report{Replanned: true, Lost: lost}
-	rep.LostDevice = s.Cluster.Devices[lost.Device].GPU.Name
-
-	reduced, oldID, err := removeDevice(s.Cluster, lost.Device)
+	out, err := Replan(c.Spec, c.Plan, c.Timer, lost, c.Obs, c.Spans)
 	if err != nil {
 		return Report{}, err
 	}
-	degraded := *s
-	degraded.Cluster = reduced
-	res, err := assigner.Optimize(&degraded, c.Timer)
-	if err != nil {
-		return Report{}, fmt.Errorf("failover: no feasible degraded plan on %d surviving devices: %w",
-			reduced.NumDevices(), err)
-	}
-	rep.DegradedPlan = res.Plan
+	rep.LostDevice = out.LostDevice
+	rep.DegradedPlan = out.Plan
+	rep.MovedLayers = out.MovedLayers
+	rep.Migration = out.Migration
 
-	// Layers whose physical home changed must migrate: quantized weights
-	// at the new plan's precision, plus each resident request's KV state
-	// up to the watermark (none when prefill had not completed — the
-	// resumed run re-prefills from scratch).
-	oldHome := layerHomes(c.Plan, s.Cfg.Layers, nil)
-	newHome := layerHomes(res.Plan, s.Cfg.Layers, oldID)
-	newBits := res.Plan.LayerBits(s.Cfg.Layers)
-	var movedBits []int
-	for l := 0; l < s.Cfg.Layers; l++ {
-		if newHome[l] != oldHome[l] {
-			movedBits = append(movedBits, newBits[l])
-		}
-	}
-	rep.MovedLayers = len(movedBits)
-	kvSeq := 0
-	if lost.PrefillDone {
-		kvSeq = s.Work.Prompt + lost.Watermark
-	}
-	rep.Migration, err = costmodel.MigrationCost(costmodel.MigrationInput{
-		Cfg: s.Cfg, MovedLayerBits: movedBits, GlobalBatch: s.Work.GlobalBatch,
-		KVSeqLen: kvSeq, KVBits: s.KVBits, Link: s.Cluster.InterNode,
-	})
-	if err != nil {
-		return Report{}, err
-	}
-	c.observe(&rep)
-
-	start := 0
-	if lost.PrefillDone {
-		start = lost.Watermark
-	}
-	eng := &rt.Engine{Spec: &degraded, Plan: res.Plan, Timer: c.Timer, StartRound: start, Obs: c.Obs, Spans: c.Spans}
+	eng := &rt.Engine{Spec: out.Degraded, Plan: out.Plan, Timer: c.Timer, StartRound: out.StartRound, Obs: c.Obs, Spans: c.Spans}
 	rep.Resumed, err = eng.Run()
 	if err != nil {
 		return Report{}, fmt.Errorf("failover: resumed run failed: %w", err)
 	}
-	durable := lost.DurableTokens
-	if !lost.PrefillDone {
-		durable = 0
-	}
-	rep.TotalTokens = durable + rep.Resumed.TokensOut
+	rep.TotalTokens = out.DurableTokens + rep.Resumed.TokensOut
 	rep.TotalLatencySec = lost.AtSec + rep.Migration.TransferSec + rep.Resumed.LatencySec
 	return rep, nil
-}
-
-// observe exports the llmpq_failover_* metrics and the migration span.
-func (c *Controller) observe(rep *Report) {
-	if c.Obs != nil {
-		c.Obs.Counter(metricReplans).Inc()
-		c.Obs.Gauge(metricMovedLayers).Set(float64(rep.MovedLayers))
-		c.Obs.Gauge(metricMigrationBytes).Set(rep.Migration.TotalBytes)
-		c.Obs.Gauge(metricMigrationSecs).Set(rep.Migration.TransferSec)
-		round := 0
-		if rep.Lost.PrefillDone {
-			round = rep.Lost.Watermark
-		}
-		c.Obs.Gauge(metricResumeRound).Set(float64(round))
-	}
-	if c.Spans != nil {
-		c.Spans.Record(obs.Span{
-			Name: "migrate", Cat: "failover", TID: rep.Lost.Stage,
-			Start: rep.Lost.AtSec, Dur: rep.Migration.TransferSec,
-			Args: map[string]string{
-				"moved_layers": fmt.Sprintf("%d", rep.MovedLayers),
-				"bytes":        fmt.Sprintf("%.0f", rep.Migration.TotalBytes),
-			},
-		})
-	}
 }
 
 // removeDevice returns a copy of the cluster without the given device,

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// WriteArtifact creates path and streams one export into it, surfacing
+// the writer's error first and the file-close error otherwise. Every
+// command that dumps a metrics or trace artifact funnels through this so
+// the create/write/close discipline lives in one place.
+func WriteArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	reg := NewRegistry()
+	reg.Counter("llmpq_test_total").Add(3)
+	if err := WriteArtifact(path, reg.WriteText); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "llmpq_test_total 3") {
+		t.Errorf("artifact missing counter:\n%s", b)
+	}
+}
+
+func TestWriteArtifactSurfacesWriteError(t *testing.T) {
+	boom := errors.New("export exploded")
+	path := filepath.Join(t.TempDir(), "broken.txt")
+	err := WriteArtifact(path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the writer's error, got %v", err)
+	}
+}
+
+func TestWriteArtifactCreateError(t *testing.T) {
+	if err := WriteArtifact(filepath.Join(t.TempDir(), "no", "such", "dir.txt"),
+		func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("uncreatable path must fail")
+	}
+}

@@ -22,6 +22,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/assigner"
@@ -69,6 +70,21 @@ type DeviceLostError struct {
 func (e *DeviceLostError) Error() string {
 	return fmt.Sprintf("runtime: permanent device loss on stage %d (device %d) at %.3fs (watermark %d tokens/request)",
 		e.Stage, e.Device, e.AtSec, e.Watermark)
+}
+
+// StageLostError is how an external control plane tells the engine that
+// the worker serving a stage is permanently gone: returned from a
+// StageTimer callback, it halts the run exactly like a chaos permanent
+// crash — the engine freezes at the current virtual time and surfaces a
+// DeviceLostError carrying the completed-token watermark, which the
+// failover path consumes. internal/dist produces it when a worker's
+// lease expires mid-call.
+type StageLostError struct {
+	Stage int
+}
+
+func (e *StageLostError) Error() string {
+	return fmt.Sprintf("runtime: worker serving stage %d is lost", e.Stage)
 }
 
 // Stats summarizes one serving run.
@@ -132,6 +148,15 @@ type Engine struct {
 	// target online serving). The schedule is validated against the
 	// plan's stage count and its own horizon before the run starts.
 	Chaos *chaos.Schedule
+	// StageTimer, when non-nil, replaces the local per-task stage-time
+	// computation (StageTime) — the distributed control plane's seam:
+	// internal/dist's coordinator installs a callback that asks the
+	// worker owning the stage to compute it remotely. The callback must
+	// return exactly what StageTime would (it is a pure function, so a
+	// faithful remote evaluation reproduces the single-process run
+	// bit-for-bit). Returning a *StageLostError halts the run with a
+	// watermarked *DeviceLostError; any other error aborts it.
+	StageTimer func(stage, batch, round int, prefill bool) (float64, error)
 	// StartRound resumes a pipeline from a completed-token watermark:
 	// prefill is skipped and decode micro-batches are injected at this
 	// round (tokens already held per request). 0 runs normally from
@@ -352,8 +377,25 @@ func (e *Engine) Run() (Stats, error) {
 		st.queue = st.queue[1:]
 		st.busy = true
 		st.cur = t
-		dur, err := e.stageTime(j, t)
+		var dur float64
+		var err error
+		if e.StageTimer != nil {
+			dur, err = e.StageTimer(j, t.batch, t.round, t.prefill)
+		} else {
+			dur, err = e.stageTime(j, t)
+		}
 		if err != nil {
+			var sl *StageLostError
+			if errors.As(err, &sl) {
+				// The control plane lost this stage's worker: freeze the
+				// simulation here, exactly like a chaos permanent crash.
+				// The dispatched task had not started — it is part of the
+				// work the watermark resume re-executes.
+				halted = true
+				lost = &DeviceLostError{Stage: j, Device: p.Order[j], AtSec: clk.Now()}
+				eo.deviceLost(j)
+				return
+			}
 			fail(err)
 			return
 		}
@@ -530,36 +572,51 @@ func (e *Engine) Run() (Stats, error) {
 	return stats, nil
 }
 
-// stageTime computes the execution time of one task on stage j: the sum of
-// its layers at their precisions, plus master pre/post-processing on the
-// first stage.
+// stageTime computes the execution time of one task on stage j.
 func (e *Engine) stageTime(j int, t task) (float64, error) {
-	s := e.Spec
-	p := e.Plan
-	d := p.Order[j]
+	return StageTime(e.Spec, e.Plan, e.Timer, j, t.batch, t.round, t.prefill)
+}
+
+// StageTime computes the simulated execution time of one pipeline task on
+// stage `stage` under a plan: the sum of the stage's layers at their
+// assigned precisions, plus master pre/post-processing on the first
+// stage. round is the decode round (tokens already held per request;
+// ignored when prefill is set). A nil timer uses the profiler-backed
+// default. The result is a pure function of its arguments — the property
+// the distributed control plane relies on: a worker given the same spec
+// and plan computes bit-identical times remotely (DESIGN.md §11), so a
+// multi-process run reproduces the single-process engine exactly.
+func StageTime(s *assigner.Spec, p *assigner.Plan, timer assigner.LayerTimer, stage, batch, round int, prefill bool) (float64, error) {
+	if timer == nil {
+		timer = assigner.ProfilerTimer{}
+	}
+	if stage < 0 || stage >= p.NumStages() {
+		return 0, fmt.Errorf("runtime: stage %d out of [0,%d)", stage, p.NumStages())
+	}
+	d := p.Order[stage]
 	gpu := s.Cluster.Devices[d].GPU
 	var total float64
-	bits := p.StageLayerBits(s.Cfg.Layers)[j]
+	bits := p.StageLayerBits(s.Cfg.Layers)[stage]
 	for _, b := range bits {
 		var w profiler.Workload
-		if t.prefill {
-			w = profiler.Workload{Batch: t.batch, Prompt: s.Work.Prompt, Prefill: true, Bits: b, KV: s.KVBits}
+		if prefill {
+			w = profiler.Workload{Batch: batch, Prompt: s.Work.Prompt, Prefill: true, Bits: b, KV: s.KVBits}
 		} else {
-			ctx := s.Work.Prompt + t.round
-			w = profiler.Workload{Batch: t.batch, Prompt: s.Work.Prompt, Context: ctx, Bits: b, KV: s.KVBits}
+			ctx := s.Work.Prompt + round
+			w = profiler.Workload{Batch: batch, Prompt: s.Work.Prompt, Context: ctx, Bits: b, KV: s.KVBits}
 		}
-		lt, err := e.Timer.Layer(gpu, s.Cfg, w)
+		lt, err := timer.Layer(gpu, s.Cfg, w)
 		if err != nil {
 			return 0, err
 		}
 		total += lt
 	}
-	if j == 0 {
+	if stage == 0 {
 		tokens := 1
-		if t.prefill {
+		if prefill {
 			tokens = s.Work.Prompt
 		}
-		et, err := profiler.EmbedTime(gpu, s.Cfg, t.batch, tokens)
+		et, err := profiler.EmbedTime(gpu, s.Cfg, batch, tokens)
 		if err != nil {
 			return 0, err
 		}

@@ -12,8 +12,8 @@ echo "== llmpq-vet (domain analyzers) =="
 go run ./cmd/llmpq-vet ./...
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/...
 echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
@@ -41,6 +41,57 @@ done
 grep -Eq 'llmpq_failover_replans_total [1-9]' "$obsdir/chaos1/metrics.prom" || {
     echo "verify.sh: chaos smoke never replanned (llmpq_failover_replans_total < 1)" >&2; exit 1; }
 grep -q 'llmpq_chaos_device_lost_total' "$obsdir/chaos1/metrics.prom"
+echo "== distributed control-plane smoke (coordinator + 2 workers over loopback) =="
+go build -o "$obsdir/llmpq-dist" ./cmd/llmpq-dist
+go run ./cmd/llmpq-algo -cluster 3 -model-name opt-13b -global-bz 8 -s 128 -n 8 \
+    -o "$obsdir/dist-strat.json" > /dev/null
+"$obsdir/llmpq-dist" -strat-file "$obsdir/dist-strat.json" > "$obsdir/dist-single.txt"
+distaddr="127.0.0.1:$((20000 + RANDOM % 20000))"
+"$obsdir/llmpq-dist" -role coordinator -strat-file "$obsdir/dist-strat.json" \
+    -listen "$distaddr" -workers 2 > "$obsdir/dist-coord.txt" &
+coord=$!
+"$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" > /dev/null &
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" > /dev/null &
+wait "$coord"
+wait
+diff "$obsdir/dist-single.txt" "$obsdir/dist-coord.txt" || {
+    echo "verify.sh: multi-process run diverged from the single-process run" >&2; exit 1; }
+echo "== distributed failover smoke (SIGKILL a worker mid-decode, expect replan + token conservation) =="
+clean_tokens=$(sed -n 's/.*(\([0-9]*\) tokens).*/\1/p' "$obsdir/dist-single.txt")
+"$obsdir/llmpq-dist" -role coordinator -strat-file "$obsdir/dist-strat.json" \
+    -listen "$distaddr" -workers 2 -heartbeat 50ms -lease 400ms \
+    -metrics-out "$obsdir/dist-kill.prom" > "$obsdir/dist-kill.txt" &
+coord=$!
+"$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" -hold 20ms > /dev/null &
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" -hold 20ms > /dev/null &
+victim=$!
+sleep 1.5
+kill -9 "$victim"
+wait "$coord"
+wait || true
+grep -Eq 'llmpq_failover_replans_total [1-9]' "$obsdir/dist-kill.prom" || {
+    echo "verify.sh: killed worker never triggered a replan" >&2; exit 1; }
+kill_tokens=$(sed -n 's/^total *\([0-9]*\) tokens.*/\1/p' "$obsdir/dist-kill.txt")
+[ "$kill_tokens" = "$clean_tokens" ] || {
+    echo "verify.sh: failover lost tokens (clean $clean_tokens, after kill ${kill_tokens:-none})" >&2; exit 1; }
+echo "== distributed chaos smoke (seeded conn-drop must be reproducible byte-for-byte) =="
+for run in 1 2; do
+    mkdir -p "$obsdir/dchaos$run"
+    (cd "$obsdir/dchaos$run" && "$obsdir/llmpq-dist" -role coordinator \
+        -strat-file "$obsdir/dist-strat.json" -listen "$distaddr" -workers 2 \
+        -chaos-profile conn-drop -chaos-seed 1 \
+        -metrics-out metrics.prom -trace-out trace.json > stdout.txt) &
+    coord=$!
+    "$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" > /dev/null &
+    "$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" > /dev/null &
+    wait "$coord"
+    wait
+done
+for f in metrics.prom trace.json stdout.txt; do
+    diff "$obsdir/dchaos1/$f" "$obsdir/dchaos2/$f" || {
+        echo "verify.sh: distributed chaos run is not deterministic ($f differs)" >&2; exit 1; }
+done
+grep -q 'llmpq_dist_injected_conn_drops_total 1' "$obsdir/dchaos1/metrics.prom"
 echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
