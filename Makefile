@@ -8,6 +8,13 @@ verify:
 	$(GO) run ./cmd/llmpq-vet ./...
 	$(GO) test ./...
 
+# Domain lint suite alone, cached and parallel: warm runs re-analyze only
+# packages whose file contents or module-local import closure changed.
+VET_CACHE := .vetcache
+.PHONY: vet
+vet:
+	$(GO) run ./cmd/llmpq-vet -cache-dir $(VET_CACHE) ./...
+
 # Race lane: the pipeline engine (incl. the instrumented goroutine
 # pipeline), online admission, simulated clock, observability registry,
 # TP mesh search, the parallel planner search (assigner worker pool
@@ -21,7 +28,7 @@ verify-race:
 # Coverage gate: aggregate statement coverage over ./internal/... must not
 # drop below COVER_FLOOR (percent, measured when the gate was introduced;
 # raise it when coverage improves, never lower it to make a PR pass).
-COVER_FLOOR := 86.2
+COVER_FLOOR := 87.7
 .PHONY: cover
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

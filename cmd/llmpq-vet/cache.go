@@ -1,0 +1,199 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// moduleGraph is the cheap whole-module view a run starts with: every
+// package's non-test .go files, their content hashes, and the
+// module-local import edges. Built with parser.ImportsOnly, so it costs
+// a fraction of a type-check.
+type moduleGraph struct {
+	modRoot string
+	modPath string
+	imports map[string][]string // import path → module-local deps
+	files   map[string][]string // import path → absolute file paths (sorted)
+	fileSum map[string]string   // import path → hash over file names+contents
+}
+
+func scanImports(modRoot, modPath string) (*moduleGraph, error) {
+	dirs, err := analysis.PackageDirs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	g := &moduleGraph{
+		modRoot: modRoot,
+		modPath: modPath,
+		imports: map[string][]string{},
+		files:   map[string][]string{},
+		fileSum: map[string]string{},
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		path := dirImportPath(modRoot, modPath, dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		depSet := map[string]bool{}
+		var files []string
+		h := sha256.New()
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			full := filepath.Join(dir, name)
+			files = append(files, full)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s %x\n", name, sha256.Sum256(data))
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				dep := strings.Trim(imp.Path.Value, `"`)
+				if dep == modPath || strings.HasPrefix(dep, modPath+"/") {
+					depSet[dep] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		deps := make([]string, 0, len(depSet))
+		for d := range depSet {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		g.imports[path] = deps
+		g.files[path] = files
+		g.fileSum[path] = hex.EncodeToString(h.Sum(nil))
+	}
+	return g, nil
+}
+
+// closure returns the package's module-local import closure, sorted.
+func (g *moduleGraph) closure(path string) []string {
+	seen := map[string]bool{path: true}
+	queue := []string{path}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, dep := range g.imports[cur] {
+			if !seen[dep] {
+				seen[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cacheSchema bumps invalidate every entry; raise it when the Diagnostic
+// shape or key derivation changes.
+const cacheSchema = "llmpq-vet-cache-v1"
+
+// resultCache stores per-package diagnostics keyed by a content hash of
+// everything that can change the result: the Go toolchain, the enabled
+// analyzer set, the suite's own sources (analyzers + driver + manifest),
+// and the name+content of every file in the package's module-local
+// import closure. Diagnostics are stored with module-root-relative paths
+// so entries survive a checkout move.
+type resultCache struct {
+	dir      string
+	graph    *moduleGraph
+	suiteSum string
+}
+
+func newResultCache(dir string, g *moduleGraph, analyzerNames []string) (*resultCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// The suite's own sources are part of every key: editing an analyzer
+	// (or this driver) must invalidate the world.
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", cacheSchema, runtime.Version(), strings.Join(analyzerNames, ","))
+	for _, suitePkg := range []string{g.modPath + "/internal/analysis", g.modPath + "/cmd/llmpq-vet"} {
+		fmt.Fprintf(h, "%s %s\n", suitePkg, g.fileSum[suitePkg])
+	}
+	// The manifest is embedded, not a .go file — hash it explicitly.
+	manifest, err := os.ReadFile(filepath.Join(g.modRoot, "internal", "analysis", "simctrl.manifest"))
+	if err == nil {
+		fmt.Fprintf(h, "manifest %x\n", sha256.Sum256(manifest))
+	}
+	return &resultCache{
+		dir:      dir,
+		graph:    g,
+		suiteSum: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+func (c *resultCache) key(path string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", c.suiteSum, path)
+	for _, dep := range c.graph.closure(path) {
+		fmt.Fprintf(h, "%s %s\n", dep, c.graph.fileSum[dep])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *resultCache) entryPath(path string) string {
+	return filepath.Join(c.dir, c.key(path)+".json")
+}
+
+func (c *resultCache) get(path string) ([]analysis.Diagnostic, bool) {
+	data, err := os.ReadFile(c.entryPath(path))
+	if err != nil {
+		return nil, false
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false // corrupt entry: fall through to re-analysis
+	}
+	for i := range diags {
+		diags[i].File = filepath.Join(c.graph.modRoot, filepath.FromSlash(diags[i].File))
+	}
+	return diags, true
+}
+
+func (c *resultCache) put(path string, diags []analysis.Diagnostic) error {
+	stored := make([]analysis.Diagnostic, len(diags))
+	copy(stored, diags)
+	for i := range stored {
+		rel, err := filepath.Rel(c.graph.modRoot, stored[i].File)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = stored[i].File
+		}
+		stored[i].File = filepath.ToSlash(rel)
+	}
+	data, err := json.Marshal(stored)
+	if err != nil {
+		return err
+	}
+	tmp := c.entryPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.entryPath(path))
+}

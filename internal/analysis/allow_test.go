@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAllowDirectives(t *testing.T) {
+	runFixture(t, SimWallClock, "allowdir", "repro/internal/runtime/allowfix")
+}

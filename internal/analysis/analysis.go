@@ -13,6 +13,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -44,9 +45,18 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the cross-package sim/ctrl view (never nil inside Run: the
+	// runner defaults it to manifest-only facts).
+	Facts *Facts
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
+
+// Inspector returns the package's shared inspector (parent links,
+// per-function summaries, lazy CFG/escape info), built once and reused
+// by every analyzer on the package.
+func (p *Pass) Inspector() *Inspector { return p.pkg.Inspector() }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -62,7 +72,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{BitwidthSet, UnitMix, SeededRand, FloatEq, CtxLock}
+	return []*Analyzer{
+		BitwidthSet, UnitMix, SeededRand, FloatEq, CtxLock,
+		SimWallClock, MapIter, RegistrySplit, GoroLeak, ErrDrop,
+	}
 }
 
 // ByName resolves an analyzer, or nil.
@@ -141,18 +154,128 @@ func (ig ignoreSet) suppressed(d Diagnostic) bool {
 	return names[""] || names[d.Analyzer]
 }
 
-// RunPackage runs the given analyzers over one loaded package and returns
-// the surviving diagnostics (suppression directives applied), sorted by
-// position.
+// AllowDirective is the justified, per-analyzer suppression:
+// //llmpq:allow(<analyzer>): <reason>. Unlike llmpq:ignore it names
+// exactly one analyzer, the reason is mandatory, and a directive that
+// suppresses nothing is itself a finding — stale allowances rot the
+// contract, so they fail the build.
+const AllowDirective = "llmpq:allow"
+
+// allowMetaName is the pseudo-analyzer findings about the directives
+// themselves are filed under (always on; not part of Analyzers()).
+const allowMetaName = "allow"
+
+// Anchored to the start of the comment so that prose mentioning the
+// directive (doc comments, fixture want-strings) is not itself parsed
+// as a directive.
+var allowRE = regexp.MustCompile(`^//\s*llmpq:allow\(([a-z]+)\)(:?)\s*(.*)`)
+
+// allowEntry is one parsed allow directive.
+type allowEntry struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	lines    [2]int // the directive's own line and the line below
+	used     bool
+	enabled  bool // suppresses only analyzers that actually ran
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File, ran map[string]bool) []*allowEntry {
+	var out []*allowEntry
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The reason only counts when introduced by the colon;
+				// `//llmpq:allow(x) stray text` is still reason-less.
+				reason := ""
+				if m[2] == ":" {
+					reason = strings.TrimSpace(m[3])
+				}
+				out = append(out, &allowEntry{
+					analyzer: m[1],
+					reason:   reason,
+					pos:      pos,
+					lines:    [2]int{pos.Line, pos.Line + 1},
+					enabled:  ran[m[1]],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows suppresses matching diagnostics, then reports directive
+// problems: a missing reason, an unknown analyzer name, and — for
+// analyzers that ran — a directive that suppressed nothing.
+func applyAllows(allows []*allowEntry, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer == d.Analyzer && a.pos.Filename == d.File &&
+				(a.lines[0] == d.Line || a.lines[1] == d.Line) && a.reason != "" {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case ByName(a.analyzer) == nil:
+			kept = append(kept, Diagnostic{
+				Analyzer: allowMetaName, File: a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: fmt.Sprintf("llmpq:allow(%s) names no known analyzer", a.analyzer),
+			})
+		case a.reason == "":
+			kept = append(kept, Diagnostic{
+				Analyzer: allowMetaName, File: a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: fmt.Sprintf("llmpq:allow(%s) needs a justification: `//llmpq:allow(%s): <reason>`", a.analyzer, a.analyzer),
+			})
+		case !a.used && a.enabled:
+			kept = append(kept, Diagnostic{
+				Analyzer: allowMetaName, File: a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: fmt.Sprintf("unused llmpq:allow(%s) directive: the analyzer reports nothing here — remove it", a.analyzer),
+			})
+		}
+	}
+	return kept
+}
+
+// RunPackage runs the given analyzers over one loaded package with
+// manifest-only facts — what fixture tests and single-package callers
+// use. See RunPackageFacts for the whole-module entry point.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackageFacts(pkg, analyzers, nil)
+}
+
+// RunPackageFacts runs the analyzers over one loaded package under the
+// given cross-package facts (nil = manifest-only) and returns the
+// surviving diagnostics — ignore and allow directives applied, directive
+// misuse reported — sorted by position.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
+	if facts == nil {
+		facts = ManifestFacts(nil)
+	}
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Facts:    facts,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -164,6 +287,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
+	kept = applyAllows(collectAllows(pkg.Fset, pkg.Files, ran), kept, ran)
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].File != kept[j].File {
 			return kept[i].File < kept[j].File

@@ -1,0 +1,277 @@
+package analysis
+
+// A lightweight intra-function control-flow graph. Analyzers use it for
+// order-sensitive questions — "can execution get from this map-range to
+// that writer call without passing a sort?" — that a flat AST walk cannot
+// answer. Precision is deliberately modest: blocks are statement
+// sequences, branch/loop/switch/select statements fan out to successor
+// blocks, `goto` is treated like a return (it does not occur in this
+// codebase). Missing edges can only hide a path (fewer findings), never
+// invent one.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line statement sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Stmt
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // every return/panic-free fall-through edge lands here
+
+	stmtBlock map[ast.Stmt]*Block
+	stmtIndex map[ast.Stmt]int // position within its block
+}
+
+type cfgBuilder struct {
+	g    *CFG
+	cur  *Block
+	brk  []*Block // break targets, innermost last
+	cont []*Block // continue targets, innermost last
+}
+
+// BuildCFG constructs the CFG for a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{stmtBlock: map[ast.Stmt]*Block{}, stmtIndex: map[ast.Stmt]int{}}
+	b := &cfgBuilder{g: g}
+	entry := b.newBlock()
+	g.Entry = entry
+	g.Exit = b.newBlock()
+	b.cur = entry
+	b.stmts(body.List)
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(s ast.Stmt) {
+	b.g.stmtBlock[s] = b.cur
+	b.g.stmtIndex[s] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, s)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.add(s) // init+cond evaluate in the current block
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		b.add(s)
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, exit) // condition may fail immediately
+		}
+		b.brk = append(b.brk, exit)
+		b.cont = append(b.cont, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		if s.Cond == nil {
+			// for {} only exits through break; the edge set above handles it.
+			b.edge(head, exit)
+		}
+		b.cur = exit
+	case *ast.RangeStmt:
+		b.add(s)
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.brk = append(b.brk, exit)
+		b.cont = append(b.cont, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = exit
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.add(s)
+		head := b.cur
+		join := b.newBlock()
+		b.brk = append(b.brk, join)
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		for _, c := range clauses {
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				if c.List == nil {
+					hasDefault = true
+				}
+				b.stmts(c.Body)
+			case *ast.CommClause:
+				if c.Comm == nil {
+					hasDefault = true
+				} else {
+					b.stmt(c.Comm)
+				}
+				b.stmts(c.Body)
+			}
+			b.edge(b.cur, join)
+		}
+		if !hasDefault {
+			b.edge(head, join)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cur = join
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.brk) > 0 {
+				b.edge(b.cur, b.brk[len(b.brk)-1])
+			}
+		case token.CONTINUE:
+			if len(b.cont) > 0 {
+				b.edge(b.cur, b.cont[len(b.cont)-1])
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = b.newBlock()
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	default:
+		b.add(s)
+	}
+}
+
+// After returns the block and intra-block index holding stmt, or nil.
+func (g *CFG) blockOf(s ast.Stmt) (*Block, int) {
+	blk, ok := g.stmtBlock[s]
+	if !ok {
+		return nil, 0
+	}
+	return blk, g.stmtIndex[s]
+}
+
+// PathAvoiding reports whether control can flow from just after `from`
+// to `to` without first executing a statement for which avoid returns
+// true. Both must be statements recorded in the graph; unknown
+// statements yield false (no claimed path — the conservative answer for
+// "must I report?" callers is then decided by the analyzer).
+func (g *CFG) PathAvoiding(from, to ast.Stmt, avoid func(ast.Stmt) bool) bool {
+	fromBlk, fromIdx := g.blockOf(from)
+	toBlk, toIdx := g.blockOf(to)
+	if fromBlk == nil || toBlk == nil {
+		return false
+	}
+	// Same block: scan the statements strictly between the two.
+	if fromBlk == toBlk && fromIdx < toIdx {
+		for i := fromIdx + 1; i < toIdx; i++ {
+			if avoid(fromBlk.Nodes[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Tail of the from-block must be clean before any successor hop.
+	for i := fromIdx + 1; i < len(fromBlk.Nodes); i++ {
+		if avoid(fromBlk.Nodes[i]) {
+			return false
+		}
+	}
+	seen := map[*Block]bool{fromBlk: true}
+	queue := append([]*Block(nil), fromBlk.Succs...)
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		limit := len(blk.Nodes)
+		if blk == toBlk {
+			limit = toIdx
+		}
+		clean := true
+		for i := 0; i < limit; i++ {
+			if avoid(blk.Nodes[i]) {
+				clean = false
+				break
+			}
+		}
+		if blk == toBlk {
+			if clean {
+				return true
+			}
+			continue
+		}
+		if clean {
+			queue = append(queue, blk.Succs...)
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently discarded errors from I/O-shaped calls in the
+// packages where a dropped error masks real faults: internal/dist (wire
+// frames, deadlines, connection teardown) and internal/obs (artifact
+// writers whose output is byte-diffed — a short write must not pass
+// silently). Only a curated set of method names is checked; the general
+// "every error must be handled" rule belongs to vet/errcheck, not here.
+// A deliberate drop is written `_ = c.Close() //llmpq:allow(errdrop): <why>`.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "I/O errors from writes, closes, deadlines, and frame sends must not be silently discarded in dist/obs",
+	Run:  runErrDrop,
+}
+
+// errDropMethods are the method names whose error result is load-bearing.
+var errDropMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Close": true, "Flush": true, "Sync": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	"send": true,
+}
+
+// errDropFuncs are package-level functions treated the same way.
+var errDropFuncs = map[string]bool{"writeFrame": true}
+
+func errDropScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/dist") || strings.Contains(pkgPath, "internal/obs")
+}
+
+func runErrDrop(p *Pass) {
+	if !errDropScope(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportIfDroppedErr(p, n.X, "result discarded")
+			case *ast.GoStmt:
+				reportIfDroppedErr(p, n.Call, "result discarded by go statement")
+			case *ast.DeferStmt:
+				reportIfDroppedErr(p, n.Call, "result discarded by defer")
+			case *ast.AssignStmt:
+				checkAssignDrop(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDrop handles `_ = call()` and `a, _ := call()` where the
+// blank lands on the error result.
+func checkAssignDrop(p *Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := errDropTarget(p.Info, call)
+	if !ok {
+		return
+	}
+	// Which result positions are errors, and are they all blank?
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return
+	}
+	errIdx := -1
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				errIdx = i
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			errIdx = 0
+		}
+	}
+	if errIdx < 0 || errIdx >= len(n.Lhs) {
+		return
+	}
+	if id, ok := ast.Unparen(n.Lhs[errIdx]).(*ast.Ident); ok && id.Name == "_" {
+		p.Reportf(n.Pos(), "error from %s assigned to blank; handle it or justify with //llmpq:allow(errdrop): <reason>", name)
+	}
+}
+
+// reportIfDroppedErr reports a bare call expression whose error result
+// vanishes.
+func reportIfDroppedErr(p *Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := errDropTarget(p.Info, call)
+	if !ok {
+		return
+	}
+	if !callReturnsError(p.Info, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "error from %s %s; handle it or justify with //llmpq:allow(errdrop): <reason>", name, how)
+}
+
+// errDropTarget reports whether the call hits one of the curated
+// error-bearing targets, returning a display name. In-memory builders
+// (strings.Builder, bytes.Buffer) are exempt: their writers are
+// documented never to fail, so a dropped nil is not a dropped error.
+func errDropTarget(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if errDropMethods[fun.Sel.Name] && !infallibleWriter(info, fun.X) {
+			return fun.Sel.Name, true
+		}
+	case *ast.Ident:
+		if errDropFuncs[fun.Name] && info.Uses[fun] != nil {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+// infallibleWriter reports whether the receiver is a strings.Builder or
+// bytes.Buffer (possibly behind a pointer) — writers that never return a
+// non-nil error.
+func infallibleWriter(info *types.Info, recv ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(recv)]
+	if !ok {
+		if id, isIdent := ast.Unparen(recv).(*ast.Ident); isIdent {
+			if obj := info.Uses[id]; obj != nil {
+				return isBuilderType(obj.Type())
+			}
+		}
+		return false
+	}
+	return isBuilderType(tv.Type)
+}
+
+func isBuilderType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

@@ -1,0 +1,245 @@
+package analysis
+
+// Cross-package facts: which packages belong to the deterministic sim
+// path and which are control-plane code, plus which obs metric families
+// belong to which registry. The ground truth is the checked-in
+// simctrl.manifest; the sim set is closed under imports (a helper pulled
+// in by a sim package inherits the sim obligations), so the facts layer
+// needs the module's import graph — the driver supplies it, while
+// fixture tests fall back to manifest-only facts.
+
+import (
+	_ "embed"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+//go:embed simctrl.manifest
+var manifestText string
+
+// Role classifies a package or metric family under the sim/ctrl contract.
+type Role int8
+
+const (
+	// RoleUnknown means the manifest takes no position.
+	RoleUnknown Role = iota
+	// RoleSim marks the deterministic simulation path.
+	RoleSim
+	// RoleCtrl marks wall-clock control-plane code.
+	RoleCtrl
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSim:
+		return "sim"
+	case RoleCtrl:
+		return "ctrl"
+	default:
+		return "unknown"
+	}
+}
+
+// Manifest is the parsed simctrl.manifest.
+type Manifest struct {
+	packages map[string]Role // import path prefix → role
+	metrics  []metricRule    // longest-pattern-first
+}
+
+type metricRule struct {
+	pattern string // literal, or prefix when wildcard
+	wild    bool
+	role    Role
+}
+
+// ParseManifest parses the manifest format documented in simctrl.manifest.
+func ParseManifest(text string) (*Manifest, error) {
+	m := &Manifest{packages: map[string]Role{}}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("analysis: manifest line %d: want `package|metric sim|ctrl <pattern>`, got %q", i+1, line)
+		}
+		var role Role
+		switch fields[1] {
+		case "sim":
+			role = RoleSim
+		case "ctrl":
+			role = RoleCtrl
+		default:
+			return nil, fmt.Errorf("analysis: manifest line %d: unknown role %q", i+1, fields[1])
+		}
+		switch fields[0] {
+		case "package":
+			if prev, ok := m.packages[fields[2]]; ok && prev != role {
+				return nil, fmt.Errorf("analysis: manifest line %d: package %s listed as both %s and %s", i+1, fields[2], prev, role)
+			}
+			m.packages[fields[2]] = role
+		case "metric":
+			rule := metricRule{pattern: fields[2], role: role}
+			if strings.HasSuffix(rule.pattern, "*") {
+				rule.wild = true
+				rule.pattern = strings.TrimSuffix(rule.pattern, "*")
+			}
+			m.metrics = append(m.metrics, rule)
+		default:
+			return nil, fmt.Errorf("analysis: manifest line %d: unknown directive %q", i+1, fields[0])
+		}
+	}
+	// Longest pattern first so exact metric names beat family wildcards.
+	sort.SliceStable(m.metrics, func(i, j int) bool {
+		return len(m.metrics[i].pattern) > len(m.metrics[j].pattern)
+	})
+	return m, nil
+}
+
+// DefaultManifest parses the embedded simctrl.manifest once.
+var DefaultManifest = sync.OnceValue(func() *Manifest {
+	m, err := ParseManifest(manifestText)
+	if err != nil {
+		panic(err) // the manifest is checked in; a parse error is a build break
+	}
+	return m
+})
+
+// PackageRole returns the manifest's explicit role for an import path:
+// the longest listed prefix wins, and an entry covers its subpackages
+// (`repro/cmd` covers `repro/cmd/llmpq-vet`).
+func (m *Manifest) PackageRole(path string) Role {
+	best, bestLen := RoleUnknown, -1
+	for prefix, role := range m.packages {
+		if len(prefix) > bestLen && (path == prefix || strings.HasPrefix(path, prefix+"/")) {
+			best, bestLen = role, len(prefix)
+		}
+	}
+	return best
+}
+
+// MetricRole classifies one metric family name, or RoleUnknown.
+func (m *Manifest) MetricRole(name string) Role {
+	for _, r := range m.metrics {
+		if r.wild && strings.HasPrefix(name, r.pattern) {
+			return r.role
+		}
+		if !r.wild && name == r.pattern {
+			return r.role
+		}
+	}
+	return RoleUnknown
+}
+
+// Facts carries the computed cross-package view one analyzer pass sees.
+type Facts struct {
+	Manifest *Manifest
+	// effective maps import path → role after import propagation; empty
+	// for manifest-only facts.
+	effective map[string]Role
+	// simVia maps a propagated-sim package to one sim package that
+	// (possibly transitively) imports it — the "why" for diagnostics.
+	simVia map[string]string
+	// ctrlImports lists explicit-ctrl packages each sim package imports —
+	// contract violations reported at the importing package.
+	ctrlImports map[string][]string
+}
+
+// ManifestFacts returns facts backed by the manifest alone (no import
+// propagation) — what fixture tests and single-package runs use.
+func ManifestFacts(m *Manifest) *Facts {
+	if m == nil {
+		m = DefaultManifest()
+	}
+	return &Facts{Manifest: m}
+}
+
+// ComputeFacts closes the manifest's sim set under the module import
+// graph: every package transitively imported by an explicit sim package
+// becomes sim unless the manifest explicitly lists it ctrl — in which
+// case the offending import edge is recorded as a contract violation.
+// imports maps each module package to its module-local direct imports.
+func ComputeFacts(m *Manifest, imports map[string][]string) *Facts {
+	if m == nil {
+		m = DefaultManifest()
+	}
+	f := &Facts{
+		Manifest:    m,
+		effective:   map[string]Role{},
+		simVia:      map[string]string{},
+		ctrlImports: map[string][]string{},
+	}
+	for path := range imports {
+		f.effective[path] = m.PackageRole(path)
+	}
+	// Deterministic BFS from the explicit sim roots.
+	var queue []string
+	for path := range imports {
+		if f.effective[path] == RoleSim {
+			queue = append(queue, path)
+		}
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		from := queue[0]
+		queue = queue[1:]
+		for _, dep := range imports[from] {
+			switch m.PackageRole(dep) {
+			case RoleCtrl:
+				if f.effective[from] == RoleSim {
+					f.ctrlImports[from] = append(f.ctrlImports[from], dep)
+				}
+			case RoleSim:
+				// Already a root.
+			default:
+				if f.effective[dep] != RoleSim {
+					f.effective[dep] = RoleSim
+					if f.simVia[dep] == "" {
+						f.simVia[dep] = from
+					}
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	for p := range f.ctrlImports {
+		sort.Strings(f.ctrlImports[p])
+	}
+	return f
+}
+
+// Role returns the effective role of an import path: the propagated role
+// when the import graph was supplied, otherwise the manifest's explicit
+// role. Unlisted, unreached packages are RoleUnknown (unconstrained).
+func (f *Facts) Role(path string) Role {
+	if f == nil {
+		return RoleUnknown
+	}
+	if f.effective != nil {
+		if r, ok := f.effective[path]; ok {
+			return r
+		}
+	}
+	return f.Manifest.PackageRole(path)
+}
+
+// SimVia explains why a package is effectively sim: "" when it is an
+// explicit manifest root, otherwise one sim package that imports it.
+func (f *Facts) SimVia(path string) string {
+	if f == nil {
+		return ""
+	}
+	return f.simVia[path]
+}
+
+// CtrlImports lists the explicit-ctrl packages a sim package imports —
+// each one a sim/ctrl contract violation.
+func (f *Facts) CtrlImports(path string) []string {
+	if f == nil {
+		return nil
+	}
+	return f.ctrlImports[path]
+}

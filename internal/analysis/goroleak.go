@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak extends the join discipline CtxLock enforces on pipeline
+// closures to every `go` statement in the concurrency-heavy packages
+// (internal/dist and internal/runtime): a spawned goroutine must be
+// joinable — its body (or, for named callees, the callee's body up to a
+// small transitive depth) must touch a channel, a context, or a
+// WaitGroup, or the goroutine must receive one as an argument.
+// A goroutine with no join signal outlives its owner silently: dist
+// workers leak connections on reconnect, engine runs leak workers into
+// the next test. Precision note: we only prove the *capability* to
+// join exists, not that callers use it — that keeps the check cheap
+// and the false-positive rate near zero.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "spawned goroutines must be joinable: body or callee must use a channel/context/WaitGroup, or receive one as an argument",
+	Run:  runGoroLeak,
+}
+
+func goroLeakScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/dist") || strings.Contains(pkgPath, "internal/runtime")
+}
+
+func runGoroLeak(p *Pass) {
+	if !goroLeakScope(p.Pkg.Path()) {
+		return
+	}
+	in := p.Inspector()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goJoinable(p, in, g) {
+				return true
+			}
+			p.Reportf(g.Pos(), "goroutine has no join signal (no channel, context, or WaitGroup in body, callee, or arguments); it cannot be awaited or cancelled")
+			return true
+		})
+	}
+}
+
+func goJoinable(p *Pass, in *Inspector, g *ast.GoStmt) bool {
+	call := g.Call
+	// Function literal: inspect the body directly (bodyHasJoin also
+	// accepts ctx.Done()/ctx.Err() via the context check in exprHasJoinArg).
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if bodyHasJoin(p.Info, lit.Body) {
+			return true
+		}
+	}
+	// Named or method callee: consult the summary, then its callees.
+	if callee := calleeFunc(p.Info, call); callee != nil {
+		if funcJoins(in, callee, 0) {
+			return true
+		}
+	}
+	// Any argument (or the method receiver) of a joinable kind makes the
+	// goroutine awaitable by construction.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if exprHasJoinType(p.Info, sel.X) {
+			return true
+		}
+	}
+	for _, a := range call.Args {
+		if exprHasJoinType(p.Info, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcJoins reports whether fn (or a callee, up to depth 3 within the
+// package) carries a join signal per its summary. Out-of-package callees
+// are conservatively assumed joinable only for the well-known blocking
+// stdlib entry points that wrap channel traffic.
+func funcJoins(in *Inspector, fn *types.Func, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	fi := in.FuncByObj(fn)
+	if fi == nil {
+		// Out of package. Signature-level check: a context / channel /
+		// WaitGroup parameter means the callee can be joined through it.
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if typeIsJoinable(params.At(i).Type()) {
+				return true
+			}
+		}
+		if recv := sig.Recv(); recv != nil && typeIsJoinable(recv.Type()) {
+			return true
+		}
+		return false
+	}
+	if fi.JoinSignal {
+		return true
+	}
+	for _, callee := range fi.Calls {
+		if callee == fn {
+			continue
+		}
+		if funcJoins(in, callee, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprHasJoinType reports whether an expression's type makes a goroutine
+// joinable when passed in: a channel, context.Context, *sync.WaitGroup,
+// or a struct that (transitively, one level) holds one.
+func exprHasJoinType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return typeIsJoinable(tv.Type)
+}
+
+func typeIsJoinable(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Interface:
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	case *types.Struct:
+		if lockKind(t) == "sync.WaitGroup" {
+			return true
+		}
+		// One level of struct fields: a worker struct holding a done
+		// channel or WaitGroup is joinable through it.
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if fptr, ok := ft.Underlying().(*types.Pointer); ok {
+				ft = fptr.Elem()
+			}
+			if _, isChan := ft.Underlying().(*types.Chan); isChan {
+				return true
+			}
+			if lockKind(ft) == "sync.WaitGroup" {
+				return true
+			}
+			if named, ok := ft.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

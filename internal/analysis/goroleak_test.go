@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestGoroLeak(t *testing.T) {
+	runFixture(t, GoroLeak, "goroleak", "repro/internal/dist/fixture")
+}
+
+func TestGoroLeakOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "goroleak", "repro/internal/assigner/fixture")
+	if diags := RunPackage(pkg, []*Analyzer{GoroLeak}); len(diags) != 0 {
+		t.Fatalf("goroleak only covers dist and runtime, got %v", diags)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked module package, ready for analyzer passes.
@@ -22,6 +23,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	inspOnce sync.Once
+	insp     *Inspector
 }
 
 // Loader type-checks module packages from source with no external

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// RegistrySplit enforces the two-registry observability split from
+// DESIGN.md §11: sim metric families (byte-diffed across runs) must be
+// registered on the sim registry, ctrl families (wall-clock-dependent)
+// on the ctrl registry. The manifest's `metric` globs say which family
+// belongs where; the receiver's naming convention (Obs / *sim* vs
+// *ctrl*) says which registry a call lands on. Receivers with a neutral
+// name stay unknown and are skipped — missing a mix-up is acceptable,
+// crying wolf on every helper parameter is not. Wrapper helpers that
+// forward a string parameter as the family name (ctrlInc style) are
+// checked at their call sites via the inspector's RegForwards summary.
+var RegistrySplit = &Analyzer{
+	Name: "registrysplit",
+	Doc:  "metric families must register on the registry their manifest role dictates (sim byte-diffed vs ctrl wall-clock)",
+	Run:  runRegistrySplit,
+}
+
+func runRegistrySplit(p *Pass) {
+	in := p.Inspector()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			// Direct registry-method calls with a role-identifiable receiver.
+			if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && registryMethods[fun.Sel.Name] {
+				if tv, ok := p.Info.Types[fun.X]; ok && isObsRegistry(tv.Type) {
+					checkMetricName(p, call.Args[0], RegistryExprRole(fun.X))
+					return true
+				}
+			}
+			// Wrapper call sites: the callee forwards a parameter as the name.
+			if callee := calleeFunc(p.Info, call); callee != nil {
+				if fi := in.FuncByObj(callee); fi != nil {
+					for _, fw := range fi.RegForwards {
+						if fw.ParamIndex < len(call.Args) {
+							checkMetricName(p, call.Args[fw.ParamIndex], fw.Role)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc statically resolves a call's target function, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkMetricName compares a constant family name against the manifest's
+// verdict for the registry role it lands on. Non-constant names are
+// skipped: a dynamic name cannot be classified at compile time.
+func checkMetricName(p *Pass, nameArg ast.Expr, got Role) {
+	if got == RoleUnknown {
+		return
+	}
+	tv, ok := p.Info.Types[nameArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	want := p.Facts.Manifest.MetricRole(name)
+	if want == RoleUnknown || want == got {
+		return
+	}
+	p.Reportf(nameArg.Pos(), "metric %q is a %s family per simctrl.manifest but is registered on the %s registry; %s metrics are %s", name, want, got, want, metricRoleNote(want))
+}
+
+func metricRoleNote(r Role) string {
+	if r == RoleSim {
+		return "byte-diffed across runs and must stay on the deterministic registry"
+	}
+	return "wall-clock-dependent and must stay off the byte-diffed registry"
+}

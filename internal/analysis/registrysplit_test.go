@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+func TestRegistrySplit(t *testing.T) {
+	runFixture(t, RegistrySplit, "registrysplit", "repro/fixture/internal/obs")
+}
+
+func TestManifestMetricRoles(t *testing.T) {
+	m := DefaultManifest()
+	cases := []struct {
+		name string
+		want Role
+	}{
+		{"llmpq_engine_steps_total", RoleSim},
+		{"llmpq_solver_runs_total", RoleSim},
+		{"llmpq_dist_heartbeats_total", RoleCtrl},
+		{"llmpq_pipeline_stage_seconds", RoleCtrl},
+		// Exact sim names override the llmpq_dist_* ctrl wildcard.
+		{"llmpq_dist_workers", RoleSim},
+		{"llmpq_dist_stage_calls_total", RoleSim},
+		{"llmpq_dist_injected_conn_drops_total", RoleSim},
+		{"unrelated_family", RoleUnknown},
+	}
+	for _, c := range cases {
+		if got := m.MetricRole(c.name); got != c.want {
+			t.Errorf("MetricRole(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestManifestPackageRoles(t *testing.T) {
+	m := DefaultManifest()
+	cases := []struct {
+		path string
+		want Role
+	}{
+		{"repro/internal/assigner", RoleSim},
+		{"repro/internal/assigner/sub", RoleSim},
+		{"repro/internal/dist", RoleCtrl},
+		{"repro/cmd/llmpq-vet", RoleCtrl},
+		{"repro/internal/core/floats", RoleUnknown},
+		// Prefix matching is per path segment, not per byte.
+		{"repro/internal/distother", RoleUnknown},
+	}
+	for _, c := range cases {
+		if got := m.PackageRole(c.path); got != c.want {
+			t.Errorf("PackageRole(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

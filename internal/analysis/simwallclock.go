@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SimWallClock enforces the sim/ctrl time contract (simctrl.manifest):
+// packages on the deterministic sim path — listed `sim` or transitively
+// imported by one — must never read the wall clock or block on real
+// timers, because plans, schedules, and artifacts must be byte-for-bit
+// reproducible. The only blessed wall-clock routes are internal/simclock
+// (the virtual clock itself) and core/retry.WallSleep (the injected
+// real-time sleep real-time callers opt into). A sim package importing a
+// package the manifest marks ctrl is reported at the import.
+var SimWallClock = &Analyzer{
+	Name: "simwallclock",
+	Doc:  "no wall-clock reads or real timers in sim-deterministic packages; route through internal/simclock or core/retry.WallSleep",
+	Run:  runSimWallClock,
+}
+
+// wallClockFuncs are the time-package entry points that observe or wait
+// on the wall clock. time.Duration arithmetic and construction stay
+// legal — only reading `now` or blocking on a real timer is the hazard.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// wallClockExempt reports the blessed wrappers: the simclock package
+// itself, and the WallSleep escape hatch in core/retry.
+func wallClockExempt(pkgPath, funcName string) bool {
+	if strings.Contains(pkgPath, "internal/simclock") {
+		return true
+	}
+	return strings.Contains(pkgPath, "core/retry") && funcName == "WallSleep"
+}
+
+func runSimWallClock(p *Pass) {
+	path := p.Pkg.Path()
+	if p.Facts.Role(path) != RoleSim {
+		return
+	}
+	if strings.Contains(path, "internal/simclock") {
+		return
+	}
+	why := "listed sim in simctrl.manifest"
+	if via := p.Facts.SimVia(path); via != "" {
+		why = "imported by sim package " + via
+	}
+
+	// A sim package importing an explicit-ctrl package is a contract
+	// violation regardless of what it calls.
+	ctrlDeps := map[string]bool{}
+	for _, dep := range p.Facts.CtrlImports(path) {
+		ctrlDeps[dep] = true
+	}
+
+	insp := p.Inspector()
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			dep := strings.Trim(imp.Path.Value, `"`)
+			if ctrlDeps[dep] {
+				p.Reportf(imp.Pos(), "sim-deterministic package (%s) imports ctrl-only package %s; the sim path must not depend on wall-clock code", why, dep)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgFunc(p.Info, call.Fun, "time")
+			if !ok || !wallClockFuncs[name] {
+				return true
+			}
+			if fi := insp.EnclosingFunc(call.Pos()); fi != nil && fi.Decl.Name != nil &&
+				wallClockExempt(path, fi.Decl.Name.Name) {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s in sim-deterministic package (%s); use internal/simclock or core/retry.WallSleep, or justify with //llmpq:allow(simwallclock): <reason>", name, why)
+			return true
+		})
+	}
+}

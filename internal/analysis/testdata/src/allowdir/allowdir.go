@@ -1,0 +1,45 @@
+// Package allowfix exercises the llmpq:allow directive machinery, using
+// simwallclock (the package loads as a repro/internal/runtime
+// subpackage, so it is sim) as the analyzer being suppressed.
+package allowfix
+
+import "time"
+
+var sink time.Time
+
+// Trailing-comment suppression: directive and finding share a line.
+func trailing() {
+	sink = time.Now() //llmpq:allow(simwallclock): fixture exercises trailing suppression
+}
+
+// Comment-above suppression: the directive covers the next line.
+func above() {
+	//llmpq:allow(simwallclock): fixture exercises comment-above suppression
+	sink = time.Now()
+}
+
+// A reason-less directive suppresses nothing and is itself a finding.
+func reasonless() {
+	//llmpq:allow(simwallclock) // want "needs a justification"
+	sink = time.Now() // want "time.Now in sim-deterministic package"
+}
+
+// Naming an analyzer that does not exist is a finding.
+func unknownAnalyzer() {
+	//llmpq:allow(bogus): no such analyzer // want "names no known analyzer"
+	sink = time.Now() // want "time.Now in sim-deterministic package"
+}
+
+// A directive that suppresses nothing (for an analyzer that ran) rots
+// the contract and is reported.
+func unused() {
+	//llmpq:allow(simwallclock): nothing to suppress here // want "unused llmpq:allow"
+	sink = time.Unix(0, 0)
+}
+
+// A directive for an analyzer that did NOT run this pass is left alone:
+// partial runs must not flag other analyzers' allowances.
+func unusedButNotRun() {
+	//llmpq:allow(errdrop): errdrop is not part of this fixture run
+	sink = time.Unix(0, 0)
+}

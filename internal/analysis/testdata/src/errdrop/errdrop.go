@@ -1,0 +1,71 @@
+// Package errdropfix exercises the errdrop analyzer: loaded as a
+// subpackage of repro/internal/dist, one of the two packages in scope.
+package errdropfix
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"time"
+)
+
+type conn struct{ c net.Conn }
+
+func (c *conn) Close() error { return c.c.Close() }
+
+type msg struct{}
+
+func (c *conn) send(m *msg) error { return nil }
+
+func writeFrame(c net.Conn, payload []byte) error {
+	_, err := c.Write(payload)
+	return err
+}
+
+func drops(c *conn, nc net.Conn, deadline time.Time) {
+	_ = c.Close()                    // want "error from Close assigned to blank"
+	_ = nc.SetReadDeadline(deadline) // want "error from SetReadDeadline assigned to blank"
+	c.send(&msg{})                   // want "error from send result discarded"
+	writeFrame(nc, nil)              // want "error from writeFrame result discarded"
+	defer c.Close()                  // want "error from Close result discarded by defer"
+}
+
+func dropsTuple(nc net.Conn, b []byte) {
+	n, _ := nc.Write(b) // want "error from Write assigned to blank"
+	_ = n
+}
+
+func handles(c *conn, nc net.Conn, b []byte) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	if _, err := nc.Write(b); err != nil {
+		return err
+	}
+	if err := writeFrame(nc, b); err != nil {
+		return err
+	}
+	return c.send(&msg{})
+}
+
+func justified(c *conn) {
+	_ = c.Close() //llmpq:allow(errdrop): teardown is best-effort; the peer may already be gone
+}
+
+// In-memory builders never fail; dropping their nil errors is idiomatic.
+func builders(buf *bytes.Buffer) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString("key")
+	buf.WriteString("value")
+	return b.String()
+}
+
+func (c *conn) ping() error { return nil }
+
+// Calls outside the curated set stay unchecked even when they return
+// errors — the general rule belongs to errcheck, not this analyzer.
+func uncurated(c *conn) {
+	c.ping()
+	_ = c.ping()
+}

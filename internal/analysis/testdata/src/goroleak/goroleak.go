@@ -1,0 +1,95 @@
+// Package distfix exercises the goroleak analyzer: loaded as a
+// subpackage of repro/internal/dist, one of the two packages in scope.
+package distfix
+
+import (
+	"context"
+	"sync"
+)
+
+var hub = make(chan int)
+
+// A bare busy loop cannot be awaited or cancelled.
+func leaks() {
+	go func() { // want "goroutine has no join signal"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// A done channel in the body is a join signal.
+func joinsViaChannel(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// ctx.Done() selects count: the receive is channel traffic.
+func joinsViaContext(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// WaitGroup discipline counts.
+func joinsViaWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// A named callee with no signal anywhere leaks.
+func leaksNamed() {
+	go spin() // want "goroutine has no join signal"
+}
+
+func pump() {
+	hub <- 1
+}
+
+// The callee's summary shows channel traffic.
+func joinsNamed() {
+	go pump()
+}
+
+func callsPump() { pump() }
+
+// Transitive: the signal is one call deeper.
+func joinsTransitively() {
+	go callsPump()
+}
+
+// A joinable argument makes the goroutine awaitable by construction.
+func worker(done chan struct{}) {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func joinsViaArg(done chan struct{}) {
+	go worker(done)
+}
+
+type server struct {
+	done chan struct{}
+}
+
+func (s *server) loop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// The receiver struct holds a done channel: joinable through it.
+func joinsViaReceiver(s *server) {
+	go s.loop()
+}

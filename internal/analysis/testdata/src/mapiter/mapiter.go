@@ -1,0 +1,80 @@
+// Package mapiterfix exercises the mapiter analyzer: loaded as a
+// subpackage of repro/internal/runtime, so the manifest marks it sim.
+package mapiterfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Shape 1: emitting directly from a map range is nondeterministic.
+func emitInRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want "Fprintf inside map iteration"
+	}
+}
+
+// Shape 2: collecting into a slice and emitting it unsorted.
+func emitUnsorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintln(w, keys) // want "Fprintln consumes keys"
+}
+
+// The blessed idiom: collect, sort, emit.
+func emitSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// Sorted on every path: both branches sort before the emit.
+func emitBranchSorted(w io.Writer, m map[string]int, desc bool) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if desc {
+		sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+	} else {
+		sort.Strings(keys)
+	}
+	fmt.Fprintln(w, keys)
+}
+
+// Sorted on only one path: the else branch reaches the emit unsorted.
+func emitHalfSorted(w io.Writer, m map[string]int, really bool) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if really {
+		sort.Strings(keys)
+	}
+	fmt.Fprintln(w, keys) // want "Fprintln consumes keys"
+}
+
+// A returned slice leaves the function; the caller owns the ordering
+// question and the check stays quiet.
+func collectOnly(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Ranging over a slice is ordered; no finding.
+func sliceRangeIsFine(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,39 @@
+// Package simwcfix exercises the simwallclock analyzer: loaded as a
+// subpackage of repro/internal/runtime, so the manifest marks it sim.
+package simwcfix
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want "time.Now in sim-deterministic package"
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in sim-deterministic package"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in sim-deterministic package"
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want "time.NewTimer in sim-deterministic package"
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-time.After(time.Second): // want "time.After in sim-deterministic package"
+	}
+}
+
+// Duration arithmetic and construction never touch the wall clock.
+func durationsAreFine() time.Duration {
+	return 5 * time.Second
+}
+
+func epochIsFine() time.Time {
+	return time.Unix(0, 0)
+}
+
+func allowed() time.Time {
+	return time.Now() //llmpq:allow(simwallclock): fixture exercises trailing-comment suppression
+}

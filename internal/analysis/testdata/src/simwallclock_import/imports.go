@@ -1,0 +1,12 @@
+// Package importfix exercises the sim-imports-ctrl violation: the test
+// supplies computed facts where this package is sim and its "sort"
+// import is declared ctrl, standing in for a real control-plane package
+// (fixtures cannot import module packages, so a stdlib path plays the
+// ctrl role).
+package importfix
+
+import "sort"
+
+func uses(xs []string) {
+	sort.Strings(xs)
+}

@@ -1,0 +1,24 @@
+// Package retry exercises the WallSleep exemption: loaded under a path
+// containing core/retry inside a sim subtree, the blessed WallSleep
+// wrapper may use real timers while its siblings may not.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+func WallSleep(ctx context.Context, delaySec float64) error {
+	t := time.NewTimer(time.Duration(delaySec * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func notBlessed() time.Time {
+	return time.Now() // want "time.Now in sim-deterministic package"
+}

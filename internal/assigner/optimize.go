@@ -72,9 +72,10 @@ var testComboFault func(idx int) error
 // (Spec.Obs) aggregate through the registry's own synchronization;
 // counter totals are order-independent.
 func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //llmpq:allow(simwallclock): measures the solver's own wall time for reporting; plan bytes never depend on it
 	explored := 0
 	fail := func(err error) (*Result, error) {
+		//llmpq:allow(simwallclock): solver wall-time observation only; the failure itself is deterministic
 		obsPlanFail(s.Obs, s.Method, time.Since(start).Seconds(), explored)
 		return nil, err
 	}
@@ -191,7 +192,7 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 			s.Cfg.Name, s.Cluster.Name, s.Method))
 	}
 	best.Finalize(bestEv)
-	solve := time.Since(start)
+	solve := time.Since(start) //llmpq:allow(simwallclock): reported solve duration; the chosen plan is independent of it
 	obsPlanDone(s.Obs, s.Method, solve.Seconds(), explored)
 	return &Result{Plan: best, Eval: bestEv, Solve: solve, Explored: explored}, nil
 }

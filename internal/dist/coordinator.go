@@ -100,8 +100,12 @@ type Result struct {
 	Lost      *rt.DeviceLostError
 	// LostWorker names the worker whose lease expired.
 	LostWorker string
-	// LostDevice names the physical device declared lost with it.
-	LostDevice   string
+	// LostDevice names the physical device serving the stage that halted
+	// the engine (first of LostDevices).
+	LostDevice string
+	// LostDevices names every physical device declared lost with the
+	// worker — one per stage it served, all healed in a single replan.
+	LostDevices  []string
 	DegradedPlan *assigner.Plan
 	MovedLayers  int
 	Migration    costmodel.MigrationBreakdown
@@ -243,7 +247,7 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Listener == nil {
 		return nil, fmt.Errorf("dist: coordinator needs a listener")
 	}
-	defer cfg.Listener.Close()
+	defer cfg.Listener.Close() //llmpq:allow(errdrop): shutdown path; a listener close error has no one left to tell
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("dist: need at least one worker, got %d", cfg.Workers)
 	}
@@ -316,15 +320,27 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	cfg := co.cfg
 	deadName := ""
+	var coLost []int
 	co.mu.Lock()
 	if lost.Stage < len(co.owners) {
-		deadName = co.owners[lost.Stage].name
+		dead := co.owners[lost.Stage]
+		deadName = dead.name
+		// The worker is the failure domain, not the stage: every other
+		// stage it served loses its device with it. Declaring them all in
+		// this one replan re-solves and re-ships weights once, instead of
+		// cascading through a failover cycle per stage.
+		for j, m := range co.owners {
+			if m == dead && cfg.Plan.Order[j] != lost.Device {
+				coLost = append(coLost, cfg.Plan.Order[j])
+			}
+		}
+		sort.Ints(coLost)
 	}
 	co.mu.Unlock()
-	cfg.Logf("worker %s lost (stage %d, device %d) at %.3fs; replanning on survivors",
-		deadName, lost.Stage, lost.Device, lost.AtSec)
+	cfg.Logf("worker %s lost (stage %d, device %d, co-lost devices %v) at %.3fs; replanning on survivors",
+		deadName, lost.Stage, lost.Device, coLost, lost.AtSec)
 
-	out, err := failover.Replan(cfg.Spec, cfg.Plan, cfg.Timer, lost, cfg.Obs, cfg.Spans)
+	out, err := failover.ReplanMulti(cfg.Spec, cfg.Plan, cfg.Timer, lost, coLost, cfg.Obs, cfg.Spans)
 	if err != nil {
 		return nil, err
 	}
@@ -362,6 +378,7 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 		Lost:            lost,
 		LostWorker:      deadName,
 		LostDevice:      out.LostDevice,
+		LostDevices:     out.LostDevices,
 		DegradedPlan:    out.Plan,
 		MovedLayers:     out.MovedLayers,
 		Migration:       out.Migration,
@@ -547,15 +564,16 @@ func (co *coordinator) acceptLoop() {
 // handleConn runs the handshake and then the per-connection read loop.
 func (co *coordinator) handleConn(c net.Conn) {
 	w := newWire(c, co.cfg.CtrlObs)
-	_ = c.SetReadDeadline(time.Now().Add(co.cfg.Lease))
+	_ = c.SetReadDeadline(time.Now().Add(co.cfg.Lease)) //llmpq:allow(errdrop): a failed deadline surfaces as the recv error on the next line
 	msg, err := w.recv()
-	_ = c.SetReadDeadline(time.Time{})
+	_ = c.SetReadDeadline(time.Time{}) //llmpq:allow(errdrop): clearing a deadline on a dying conn can only fail harmlessly
 	if err != nil || msg.Type != MsgHello {
 		w.close()
 		return
 	}
 	h := msg.Hello
 	if h.Version != ProtocolVersion {
+		//llmpq:allow(errdrop): best-effort courtesy reject; the connection closes either way
 		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{
 			Reason: fmt.Sprintf("protocol version %d, coordinator speaks %d", h.Version, ProtocolVersion)}})
 		w.close()
@@ -563,7 +581,7 @@ func (co *coordinator) handleConn(c net.Conn) {
 	}
 	m, reject := co.admit(h)
 	if reject != "" {
-		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{Reason: reject}})
+		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{Reason: reject}}) //llmpq:allow(errdrop): best-effort courtesy reject; the connection closes either way
 		w.close()
 		return
 	}
@@ -716,7 +734,7 @@ func (co *coordinator) shutdown(reason string) {
 		w := m.conn
 		m.mu.Unlock()
 		if w != nil {
-			_ = w.send(&Message{Type: MsgBye, Bye: &Bye{Reason: reason}})
+			_ = w.send(&Message{Type: MsgBye, Bye: &Bye{Reason: reason}}) //llmpq:allow(errdrop): best-effort farewell during shutdown; unreachable workers time out on their own
 		}
 	}
 	co.cancel()

@@ -66,6 +66,18 @@ func distSpec(t testing.TB) *assigner.Spec {
 	}
 }
 
+// distSpec3 extends the toy cluster to three devices so two workers
+// share them unevenly: the round-robin assignment gives the first
+// worker two stages — the multi-device loss scenario.
+func distSpec3(t testing.TB) *assigner.Spec {
+	t.Helper()
+	s := distSpec(t)
+	s.Cluster.Name = "dist-toy-3"
+	s.Cluster.Devices = append(s.Cluster.Devices,
+		hardware.Device{ID: 2, GPU: distGPU("gpuC", 3.0), Node: 2})
+	return s
+}
+
 func distPlan(t testing.TB, s *assigner.Spec) *assigner.Plan {
 	t.Helper()
 	res, err := assigner.Optimize(s, nil)
@@ -244,6 +256,74 @@ func TestWorkerLossFailover(t *testing.T) {
 	}
 	if werrs[0] != nil {
 		t.Errorf("survivor exit: %v", werrs[0])
+	}
+}
+
+// TestMultiStageWorkerLossSingleReplan: with 3 stages round-robined
+// over 2 workers, worker-a serves stages 0 and 2. When it dies, BOTH of
+// its devices must be declared lost in one replan (DESIGN.md §11) — the
+// survivor takes the whole pipeline and token conservation still holds.
+func TestMultiStageWorkerLossSingleReplan(t *testing.T) {
+	s := distSpec3(t)
+	p := distPlan(t, s)
+	if p.NumStages() != 3 {
+		t.Fatalf("need a 3-stage plan for two-stage ownership, got %d", p.NumStages())
+	}
+	clean, err := (&rt.Engine{Spec: s, Plan: p, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// worker-a owns stages 0 and 2, so it sees two calls per pipeline
+	// step; let it survive prefill plus two decode rounds, then die.
+	kp := (s.Work.GlobalBatch + p.PrefillMB - 1) / p.PrefillMB
+	kd := (s.Work.GlobalBatch + p.DecodeMB - 1) / p.DecodeMB
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ln := listen(t)
+	join := startWorkers(ctx, 2, ln.Addr().String(), func(i int, cfg *WorkerConfig) {
+		if i == 0 {
+			cfg.FailAfterCalls = 2 * (kp + 2*kd)
+		}
+	})
+	res, err := Serve(ctx, Config{
+		Listener: ln, Workers: 2, Spec: s, Plan: p,
+		Heartbeat: 50 * time.Millisecond, Lease: 400 * time.Millisecond,
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replanned {
+		t.Fatal("expected a replan after the worker death")
+	}
+	if res.LostWorker != "worker-a" {
+		t.Errorf("lost worker %q, want worker-a", res.LostWorker)
+	}
+	if len(res.LostDevices) != 2 {
+		t.Fatalf("lost devices %v, want both of worker-a's", res.LostDevices)
+	}
+	if res.LostDevices[0] != res.LostDevice {
+		t.Errorf("LostDevice %q should lead LostDevices %v", res.LostDevice, res.LostDevices)
+	}
+	if got := res.DegradedPlan.NumStages(); got != 1 {
+		t.Errorf("degraded plan has %d stages, want 1 (single survivor)", got)
+	}
+	if res.TotalTokens != clean.TokensOut {
+		t.Errorf("token conservation violated: %d vs clean %d", res.TotalTokens, clean.TokensOut)
+	}
+	if got := reg.Counter("llmpq_failover_replans_total").Value(); got != 1 {
+		t.Errorf("replans counter %.0f, want 1 (one replan for the whole worker)", got)
+	}
+	if got := reg.Gauge("llmpq_failover_lost_devices").Value(); got != 2 {
+		t.Errorf("lost-devices gauge %.0f, want 2", got)
+	}
+	werrs := join()
+	if !errors.Is(werrs[0], ErrInjectedDeath) {
+		t.Errorf("worker-a should report injected death, got %v", werrs[0])
+	}
+	if werrs[1] != nil {
+		t.Errorf("survivor exit: %v", werrs[1])
 	}
 }
 

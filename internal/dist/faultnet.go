@@ -121,7 +121,7 @@ func (fc *faultConn) Read(p []byte) (int, error) {
 	}
 	if fc.partitioned() {
 		fc.trip(fc.fl.ctrl, "llmpq_dist_partition_severs_total")
-		_ = fc.Conn.Close()
+		_ = fc.Conn.Close() //llmpq:allow(errdrop): fault injection severs the conn on purpose; the injected error below is the signal
 		return 0, fmt.Errorf("dist: connection %d severed by injected partition", fc.ord)
 	}
 	at := fc.elapsedSec()
@@ -138,7 +138,7 @@ func (fc *faultConn) Read(p []byte) (int, error) {
 		if fc.frames >= fc.drop.AfterFrames {
 			fc.dropped = true
 			fc.trip(fc.fl.sim, "llmpq_dist_injected_conn_drops_total")
-			_ = fc.Conn.Close()
+			_ = fc.Conn.Close() //llmpq:allow(errdrop): fault injection severs the conn on purpose; the next use observes it
 			// The bytes already read are delivered; the very next use of
 			// the connection observes the severing.
 		}
@@ -152,7 +152,7 @@ func (fc *faultConn) Write(p []byte) (int, error) {
 	}
 	if fc.partitioned() {
 		fc.trip(fc.fl.ctrl, "llmpq_dist_partition_severs_total")
-		_ = fc.Conn.Close()
+		_ = fc.Conn.Close() //llmpq:allow(errdrop): fault injection severs the conn on purpose; the injected error below is the signal
 		return 0, fmt.Errorf("dist: connection %d severed by injected partition", fc.ord)
 	}
 	return fc.Conn.Write(p)

@@ -128,7 +128,7 @@ func (w *wire) recv() (*Message, error) {
 // close tears the connection down; safe to call more than once.
 func (w *wire) close() {
 	w.closeOnce.Do(func() { close(w.closedCh) })
-	_ = w.c.Close()
+	_ = w.c.Close() //llmpq:allow(errdrop): idempotent teardown; the peer may have closed first
 }
 
 // closed fires once the wire is torn down.

@@ -31,9 +31,11 @@ type WorkerConfig struct {
 	// connection and return an error) after that many evaluations — the
 	// test hook for lease-expiry failover without killing a process.
 	FailAfterCalls int
-	// Obs receives control-plane metrics (reconnects, heartbeats sent,
-	// deadline aborts); wall-clock-dependent, never byte-diffed.
-	Obs *obs.Registry
+	// CtrlObs receives control-plane metrics (reconnects, heartbeats
+	// sent, deadline aborts); wall-clock-dependent, never byte-diffed.
+	// The name carries the role: the registrysplit analyzer keys the
+	// sim/ctrl registry split on it.
+	CtrlObs *obs.Registry
 	// Retry shapes the reconnect backoff; the zero value uses
 	// retry.Default(). RetrySeed keeps the jitter deterministic.
 	Retry     retry.Policy
@@ -114,15 +116,15 @@ func (ws *workerState) connect(ctx context.Context) (*session, error) {
 		if err != nil {
 			return err
 		}
-		w := newWire(c, ws.cfg.Obs)
+		w := newWire(c, ws.cfg.CtrlObs)
 		hello := &Hello{Version: ProtocolVersion, Name: ws.cfg.Name, Token: ws.token}
 		if err := w.send(&Message{Type: MsgHello, Hello: hello}); err != nil {
 			w.close()
 			return err
 		}
-		_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		_ = c.SetReadDeadline(time.Now().Add(10 * time.Second)) //llmpq:allow(errdrop): a failed deadline surfaces as the recv error on the next line
 		msg, err := w.recv()
-		_ = c.SetReadDeadline(time.Time{})
+		_ = c.SetReadDeadline(time.Time{}) //llmpq:allow(errdrop): clearing a deadline on a dying conn can only fail harmlessly
 		if err != nil {
 			w.close()
 			return err
@@ -263,7 +265,7 @@ func (ws *workerState) evalStageTime(req *StageTimeRequest) (res *StageTimeResul
 }
 
 func (ws *workerState) ctrlInc(name string) {
-	if ws.cfg.Obs != nil {
-		ws.cfg.Obs.Counter(name).Inc()
+	if ws.cfg.CtrlObs != nil {
+		ws.cfg.CtrlObs.Counter(name).Inc()
 	}
 }

@@ -37,6 +37,7 @@ import (
 // Metric families exported by the controller (DESIGN.md §10).
 const (
 	metricReplans        = "llmpq_failover_replans_total"
+	metricLostDevices    = "llmpq_failover_lost_devices"
 	metricMovedLayers    = "llmpq_failover_moved_layers"
 	metricMigrationBytes = "llmpq_failover_migration_bytes"
 	metricMigrationSecs  = "llmpq_failover_migration_seconds"
@@ -107,8 +108,13 @@ type Outcome struct {
 	Plan *assigner.Plan
 	// OldID maps the reduced cluster's device IDs back to original IDs.
 	OldID []int
-	// LostDevice names the physical device that died.
+	// LostDevice names the physical device that died (the first of
+	// LostDevices — kept for single-loss callers and reports).
 	LostDevice string
+	// LostDevices names every physical device declared lost in this
+	// replan. A single chaos crash lists one; a dist worker that served
+	// several stages takes all of its devices down at once.
+	LostDevices []string
 	// MovedLayers counts layers whose physical home changed.
 	MovedLayers int
 	// Migration itemizes the re-shipping cost.
@@ -127,7 +133,20 @@ type Outcome struct {
 // migrate span when reg/spans are non-nil. Infeasibility surfaces as a
 // *ReplanFailedError that keeps the DeviceLostError reachable.
 func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, reg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
-	reduced, oldID, err := removeDevice(spec.Cluster, lost.Device)
+	return ReplanMulti(spec, plan, timer, lost, nil, reg, spans)
+}
+
+// ReplanMulti is Replan for a loss event that takes several devices at
+// once. When one failure domain backs multiple pipeline stages — a dist
+// worker serving several stages, a node hosting several GPUs — every
+// device it backed leaves with it, and healing them one at a time would
+// re-solve and re-ship weights once per device instead of once per
+// failure. extraDevices lists the additional original-cluster device
+// IDs lost alongside lost.Device; duplicates (including a repeated
+// lost.Device) are tolerated.
+func ReplanMulti(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, extraDevices []int, reg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
+	devs := append([]int{lost.Device}, extraDevices...)
+	reduced, oldID, err := removeDevices(spec.Cluster, devs)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +161,13 @@ func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer,
 		Plan:       res.Plan,
 		OldID:      oldID,
 		LostDevice: spec.Cluster.Devices[lost.Device].GPU.Name,
+	}
+	seen := make(map[int]bool, len(devs))
+	for _, d := range devs {
+		if !seen[d] {
+			seen[d] = true
+			out.LostDevices = append(out.LostDevices, spec.Cluster.Devices[d].GPU.Name)
+		}
 	}
 
 	// Layers whose physical home changed must migrate: quantized weights
@@ -180,6 +206,7 @@ func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer,
 func observeReplan(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.DeviceLostError, out *Outcome) {
 	if reg != nil {
 		reg.Counter(metricReplans).Inc()
+		reg.Gauge(metricLostDevices).Set(float64(len(out.LostDevices)))
 		reg.Gauge(metricMovedLayers).Set(float64(out.MovedLayers))
 		reg.Gauge(metricMigrationBytes).Set(out.Migration.TotalBytes)
 		reg.Gauge(metricMigrationSecs).Set(out.Migration.TransferSec)
@@ -254,18 +281,31 @@ func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
 // surviving devices reindexed to contiguous IDs (node placement
 // preserved), plus the newID→oldID mapping.
 func removeDevice(c hardware.Cluster, dev int) (hardware.Cluster, []int, error) {
-	if dev < 0 || dev >= len(c.Devices) {
-		return hardware.Cluster{}, nil, fmt.Errorf("failover: device %d out of [0,%d)", dev, len(c.Devices))
+	return removeDevices(c, []int{dev})
+}
+
+// removeDevices is removeDevice for a set of losses (duplicates
+// tolerated). At least one device must survive.
+func removeDevices(c hardware.Cluster, devs []int) (hardware.Cluster, []int, error) {
+	drop := make(map[int]bool, len(devs))
+	for _, dev := range devs {
+		if dev < 0 || dev >= len(c.Devices) {
+			return hardware.Cluster{}, nil, fmt.Errorf("failover: device %d out of [0,%d)", dev, len(c.Devices))
+		}
+		drop[dev] = true
 	}
-	if len(c.Devices) < 2 {
-		return hardware.Cluster{}, nil, fmt.Errorf("failover: cannot lose the only device")
+	if len(drop) == 0 {
+		return hardware.Cluster{}, nil, fmt.Errorf("failover: no devices to remove")
+	}
+	if len(drop) >= len(c.Devices) {
+		return hardware.Cluster{}, nil, fmt.Errorf("failover: losing %d of %d devices leaves no survivors", len(drop), len(c.Devices))
 	}
 	out := hardware.Cluster{
 		Name: c.Name + "-degraded", InterNode: c.InterNode, ModelName: c.ModelName,
 	}
 	var oldID []int
 	for _, d := range c.Devices {
-		if d.ID == dev {
+		if drop[d.ID] {
 			continue
 		}
 		oldID = append(oldID, d.ID)

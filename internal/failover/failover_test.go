@@ -178,6 +178,92 @@ func TestRemoveDevice(t *testing.T) {
 	}
 }
 
+func TestRemoveDevicesMulti(t *testing.T) {
+	c := hardware.Clusters[3] // 3×T4 + V100
+	out, oldID, err := removeDevices(c, []int{3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDevices() != 2 {
+		t.Fatalf("surviving devices %d, want 2", out.NumDevices())
+	}
+	wantOld := []int{0, 2}
+	if !reflect.DeepEqual(oldID, wantOld) {
+		t.Errorf("oldID map %v, want %v", oldID, wantOld)
+	}
+	for i, d := range out.Devices {
+		if d.ID != i {
+			t.Errorf("device %d reindexed to %d", i, d.ID)
+		}
+		if want := c.Devices[wantOld[i]].Node; d.Node != want {
+			t.Errorf("device %d node %d, want %d", i, d.Node, want)
+		}
+	}
+	if _, _, err := removeDevices(c, nil); err == nil {
+		t.Error("empty loss set must fail")
+	}
+	if _, _, err := removeDevices(c, []int{0, 1, 2, 3}); err == nil {
+		t.Error("losing every device must fail")
+	}
+	if _, _, err := removeDevices(c, []int{0, 7}); err == nil {
+		t.Error("out-of-range device must fail")
+	}
+}
+
+// TestReplanMultiTwoDevices: one replan heals a loss event spanning two
+// devices — the path internal/dist takes when a worker serving several
+// stages dies. The outcome must be deterministic and name both devices.
+func TestReplanMultiTwoDevices(t *testing.T) {
+	spec, plan := table3Spec(t)
+	lost := &rt.DeviceLostError{
+		Stage: 1, Device: 1, AtSec: 1.5,
+		Watermark: 4, DurableTokens: 32, PrefillDone: true,
+	}
+	run := func() (*Outcome, *obs.Registry) {
+		reg := obs.NewRegistry()
+		out, err := ReplanMulti(spec, plan, nil, lost, []int{2}, reg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, reg
+	}
+	out, reg := run()
+	if got := out.Degraded.Cluster.NumDevices(); got != 2 {
+		t.Fatalf("degraded cluster has %d devices, want 2", got)
+	}
+	if len(out.LostDevices) != 2 || out.LostDevices[0] != out.LostDevice {
+		t.Errorf("lost devices %v (first should be %q)", out.LostDevices, out.LostDevice)
+	}
+	if err := out.Plan.Validate(out.Degraded); err != nil {
+		t.Errorf("degraded plan invalid: %v", err)
+	}
+	if out.StartRound != 4 || out.DurableTokens != 32 {
+		t.Errorf("watermark carry-through: round %d tokens %d, want 4/32", out.StartRound, out.DurableTokens)
+	}
+	if out.MovedLayers <= 0 {
+		t.Errorf("two lost devices must move layers, got %d", out.MovedLayers)
+	}
+	if got := reg.Counter("llmpq_failover_replans_total").Value(); got != 1 {
+		t.Errorf("replans counter %.0f, want 1 (a multi-device loss is ONE replan)", got)
+	}
+	if got := reg.Gauge("llmpq_failover_lost_devices").Value(); got != 2 {
+		t.Errorf("lost-devices gauge %.0f, want 2", got)
+	}
+	// Single-device Replan keeps the one-element list in sync.
+	single, err := Replan(spec, plan, nil, lost, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.LostDevices) != 1 || single.LostDevices[0] != single.LostDevice {
+		t.Errorf("single-loss LostDevices %v vs LostDevice %q", single.LostDevices, single.LostDevice)
+	}
+	// Byte-for-byte repeatability.
+	again, _ := run()
+	if !reflect.DeepEqual(out, again) {
+		t.Errorf("multi-device replan not deterministic:\nfirst: %+v\nagain: %+v", out, again)
+	}
+}
+
 func TestMigrationCost(t *testing.T) {
 	spec, _ := table3Spec(t)
 	br, err := costmodel.MigrationCost(costmodel.MigrationInput{

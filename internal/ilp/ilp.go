@@ -79,7 +79,7 @@ func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 	n := len(p.C)
 	deadline := time.Time{}
 	if timeLimit > 0 {
-		deadline = time.Now().Add(timeLimit)
+		deadline = time.Now().Add(timeLimit) //llmpq:allow(simwallclock): the time limit is a real compute budget for branch-and-bound, not sim time
 	}
 
 	root := node{lower: make([]float64, n), upper: append([]float64(nil), p.Upper...)}
@@ -90,6 +90,7 @@ func Solve(p *Problem, timeLimit time.Duration) (Result, error) {
 	timedOut := false
 
 	for len(stack) > 0 {
+		//llmpq:allow(simwallclock): deadline check against the caller's real compute budget; timeout status is reported, never byte-diffed
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			timedOut = true
 			break

@@ -35,7 +35,7 @@ type SpanRecorder struct {
 // NewSpanRecorder returns a recorder whose epoch (the zero of Since) is
 // now.
 func NewSpanRecorder() *SpanRecorder {
-	return &SpanRecorder{epoch: time.Now(), threadNames: map[int]string{}}
+	return &SpanRecorder{epoch: time.Now(), threadNames: map[int]string{}} //llmpq:allow(simwallclock): the recorder's epoch anchors real-run traces; sim runs stamp spans with virtual time instead
 }
 
 // Since returns wall-clock seconds elapsed since the recorder's epoch —
@@ -45,7 +45,7 @@ func (r *SpanRecorder) Since() float64 {
 	if r == nil {
 		return 0
 	}
-	return time.Since(r.epoch).Seconds()
+	return time.Since(r.epoch).Seconds() //llmpq:allow(simwallclock): wall timestamps for real (non-simulated) spans only
 }
 
 // Record appends one span.

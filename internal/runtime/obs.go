@@ -210,7 +210,8 @@ func newPipelineObs(r *obs.Registry, rec *obs.SpanRecorder, stages int) *pipelin
 		return nil
 	}
 	po := &pipelineObs{
-		rec:     rec,
+		rec: rec,
+		//llmpq:allow(simwallclock): epoch for live-pipeline span timestamps; the simulated engine path never reads it
 		epoch:   time.Now(),
 		compute: make([]*obs.Histogram, stages),
 		recv:    make([]*obs.Histogram, stages),
@@ -237,7 +238,7 @@ func (o *pipelineObs) since() float64 {
 	if o.rec != nil {
 		return o.rec.Since()
 	}
-	return time.Since(o.epoch).Seconds()
+	return time.Since(o.epoch).Seconds() //llmpq:allow(simwallclock): live-pipeline span timestamps; sim runs use virtual time
 }
 
 // op records one finished stage operation (compute / recv wait / send

@@ -8,8 +8,17 @@ echo "== build =="
 go build ./...
 echo "== go vet =="
 go vet ./...
-echo "== llmpq-vet (domain analyzers) =="
-go run ./cmd/llmpq-vet ./...
+echo "== llmpq-vet (domain analyzers + SARIF smoke) =="
+sarif=$(mktemp)
+go run ./cmd/llmpq-vet -sarif "$sarif" ./...
+python3 - "$sarif" <<'EOF'
+import json, sys
+log = json.load(open(sys.argv[1]))
+assert log["version"] == "2.1.0", f"bad SARIF version {log['version']}"
+rules = log["runs"][0]["tool"]["driver"]["rules"]
+assert len(rules) >= 5, f"only {len(rules)} SARIF rules, want >= 5"
+EOF
+rm -f "$sarif"
 echo "== tests =="
 go test ./...
 echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist) =="
