@@ -1,0 +1,115 @@
+// Command llmpq-serve is the HTTP serving front door (DESIGN.md §12):
+// an OpenAI-compatible REST gateway over the online continuous-batching
+// simulator. Concurrent POST /v1/completions requests are admitted into
+// one shared batch, stream their tokens over SSE, are shed with 429 +
+// Retry-After when the admission queue sits at the ShedDepth watermark,
+// and drain gracefully on SIGINT/SIGTERM — new work is refused with 503
+// while in-flight requests run to completion.
+//
+//	llmpq-serve -listen 127.0.0.1:8080 -model opt-13b -gpu A100-40G -bits 8
+//	curl -s http://127.0.0.1:8080/v1/completions \
+//	  -d '{"prompt": "partition the layers", "max_tokens": 8}'
+//
+// Observability follows the two-registry split: GET /metrics/sim serves
+// only the deterministic simulation families (byte-identical across two
+// identically-seeded runs with the same request sequence), while
+// GET /metrics adds the wall-clock HTTP families on top for scrapers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "bind address")
+		modelName = flag.String("model", "opt-13b", "model to serve")
+		gpuName   = flag.String("gpu", "A100-40G", "device type hosting the model")
+		bits      = flag.Int("bits", 8, "weight precision (16, 8, 4, or 3)")
+		maxBatch  = flag.Int("max-batch", 16, "continuous-batching admission cap")
+		shedDepth = flag.Int("shed-depth", 64, "waiting-queue watermark; at or past it new requests get 429 (0 = never shed)")
+		downshift = flag.Bool("downshift", false, "drop weight precision under sustained KV pressure")
+		maxNew    = flag.Int("max-new", 256, "per-request max_tokens cap and default")
+		seed      = flag.Int64("seed", 1, "simulation seed (fixes the deterministic artifact)")
+		stepHold  = flag.Duration("step-hold", time.Millisecond, "wall pause per decode step (paces streams, widens the batching window)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM (0 = wait forever)")
+		simOut    = flag.String("sim-metrics-out", "", "write the sim registry here after drain (byte-diffable)")
+		ctrlOut   = flag.String("ctrl-metrics-out", "", "write the ctrl registry here after drain (wall-clock)")
+		verbose   = flag.Bool("v", false, "log admissions and lifecycle events")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	gpu, err := hardware.GPUByName(*gpuName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := serve.Options{
+		Engine: online.Config{
+			GPU: gpu, Model: m, Bits: *bits,
+			MaxNew: *maxNew, MaxBatch: *maxBatch, ShedDepth: *shedDepth,
+			Downshift: *downshift, Seed: *seed,
+		},
+		Sim:       obs.NewRegistry(),
+		Ctrl:      obs.NewRegistry(),
+		StepHold:  *stepHold,
+		RetrySeed: *seed,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("llmpq-serve: %s bits=%d on %s, listening on %s\n",
+		m.Name, *bits, gpu.Name, ln.Addr())
+
+	serveErr := srv.Serve(ctx, ln, *drainWait)
+
+	st := srv.EngineStats()
+	fmt.Printf("llmpq-serve: drained: completed=%d shed=%d downshifts=%d final_bits=%d generated_tok=%d\n",
+		st.Completed, st.Shed, st.Downshifts, st.FinalBits, st.GeneratedTok)
+	if *simOut != "" {
+		if err := obs.WriteArtifact(*simOut, srv.SimRegistry().WriteText); err != nil {
+			fatalf("write %s: %v", *simOut, err)
+		}
+	}
+	if *ctrlOut != "" {
+		if err := obs.WriteArtifact(*ctrlOut, srv.CtrlRegistry().WriteText); err != nil {
+			fatalf("write %s: %v", *ctrlOut, err)
+		}
+	}
+	if serveErr != nil {
+		fatalf("%v", serveErr)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llmpq-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

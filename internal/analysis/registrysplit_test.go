@@ -16,6 +16,10 @@ func TestManifestMetricRoles(t *testing.T) {
 		{"llmpq_solver_runs_total", RoleSim},
 		{"llmpq_dist_heartbeats_total", RoleCtrl},
 		{"llmpq_pipeline_stage_seconds", RoleCtrl},
+		// The HTTP front door's wall-clock families are ctrl; the online
+		// simulation it embeds stays sim.
+		{"llmpq_serve_http_requests_total", RoleCtrl},
+		{"llmpq_online_completed_total", RoleSim},
 		// Exact sim names override the llmpq_dist_* ctrl wildcard.
 		{"llmpq_dist_workers", RoleSim},
 		{"llmpq_dist_stage_calls_total", RoleSim},
@@ -38,6 +42,7 @@ func TestManifestPackageRoles(t *testing.T) {
 		{"repro/internal/assigner", RoleSim},
 		{"repro/internal/assigner/sub", RoleSim},
 		{"repro/internal/dist", RoleCtrl},
+		{"repro/internal/serve", RoleCtrl},
 		{"repro/cmd/llmpq-vet", RoleCtrl},
 		{"repro/internal/core/floats", RoleUnknown},
 		// Prefix matching is per path segment, not per byte.

@@ -56,6 +56,16 @@ func viaWrapper() {
 	ctrlInc("llmpq_engine_steps_total") // want "is a sim family per simctrl.manifest but is registered on the ctrl registry"
 }
 
+// serveHandler mirrors the HTTP front door (internal/serve): wall-clock
+// llmpq_serve_* families belong on the ctrl registry, and a sim
+// llmpq_online_* family registered from a serve handler is exactly the
+// leak that would poison the byte-diffed artifact.
+func serveHandler() {
+	CtrlObs.Counter("llmpq_serve_http_requests_total").Inc()
+	CtrlObs.Counter("llmpq_online_completed_total").Inc() // want "is a sim family per simctrl.manifest but is registered on the ctrl registry"
+	Obs.Counter("llmpq_serve_http_shed_total").Inc()      // want "is a ctrl family per simctrl.manifest but is registered on the sim registry"
+}
+
 // dynamic names cannot be classified and are skipped.
 func dynamic(suffix string) {
 	Obs.Counter("llmpq_" + suffix).Inc()

@@ -5,15 +5,24 @@
 // "there is always a trade-off between the speed of quantized operators
 // and the amount of available memory."
 //
-// The simulator is a deliberately small vLLM-alike: requests arrive by a
-// seeded Poisson process with ShareGPT-style prompt lengths, are admitted
+// The simulator is a deliberately small vLLM-alike: requests are admitted
 // when paged-KV memory is available, decode in a continuously-batched
 // step loop, and release their pages on completion. It runs on a single
-// (possibly fused) device; the experiment sweeps weight precision and
-// arrival rate to expose the crossover.
+// (possibly fused) device and has two arrival sources:
+//
+//   - Run: the closed-loop trace mode — a seeded Poisson process with
+//     ShareGPT-style prompt lengths sweeps weight precision and arrival
+//     rate to expose the §7 crossover.
+//   - Engine: the open-loop admission mode — an external front end (the
+//     HTTP gateway in internal/serve) pushes requests through Submit and
+//     drives decode steps through StepOnce, observing per-request
+//     lifecycle via Hooks. Simulated time still only advances inside the
+//     engine, so a fixed submission sequence replays byte-for-byte no
+//     matter how fast the wall clock runs.
 package online
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -160,14 +169,35 @@ func (o *onlineObs) downshift(bits, kvTokens int) {
 	o.kvCap.Set(float64(kvTokens))
 }
 
+// Hooks are the engine's per-request lifecycle callbacks, the admission
+// surface an external front end builds on. All hooks run synchronously
+// inside Submit/StepOnce on the caller's goroutine and must not block:
+// the HTTP gateway forwards events into buffered per-request channels.
+// Any hook may be nil.
+type Hooks struct {
+	// OnAdmit fires when a request wins paged-KV pages and joins the
+	// continuous batch (its prefill cost has just been charged).
+	OnAdmit func(*Request)
+	// OnToken fires after every decoded token; r.Done() is the count
+	// generated so far, including this one.
+	OnToken func(*Request)
+	// OnFinish fires when a request completes its generation budget and
+	// releases its pages.
+	OnFinish func(*Request)
+	// OnShed fires when a request is dropped: load shedding past the
+	// watermark, retry exhaustion under KV chaos, or a rejected head
+	// request that can never fit the pool.
+	OnShed func(*Request)
+}
+
 // Config describes one online-serving simulation.
 type Config struct {
 	GPU      hardware.GPU
 	Model    model.Config
 	Bits     int     // uniform weight precision
-	Arrival  float64 // mean requests per second (Poisson)
-	Duration float64 // simulated seconds of arrivals
-	MaxNew   int     // tokens generated per request
+	Arrival  float64 // mean requests per second (Poisson; closed-loop Run only)
+	Duration float64 // simulated seconds of arrivals (closed-loop Run only)
+	MaxNew   int     // tokens generated per request (open loop: the default/cap)
 	MaxBatch int     // admission cap on concurrent requests
 	Seed     int64
 	// Obs, when non-nil, receives serving metrics (admission queue depth,
@@ -188,7 +218,8 @@ type Config struct {
 	Retry retry.Policy
 	// ShedDepth, when positive, load-sheds: arrived-but-waiting requests
 	// beyond this depth are dropped (counted as shed and rejected)
-	// instead of queueing unboundedly. 0 disables shedding.
+	// instead of queueing unboundedly, and open-loop Submit refuses new
+	// work while the queue sits at the watermark. 0 disables shedding.
 	ShedDepth int
 	// Downshift enables the bitwidth fallback under sustained memory
 	// pressure: when the KV pool stays >90% occupied with requests
@@ -196,9 +227,13 @@ type Config struct {
 	// growing the pool at a one-off requantization stall (§7 trade-off,
 	// inverted: spend kernel speed to buy KV memory).
 	Downshift bool
+	// Hooks receive per-request lifecycle events (admission, each decoded
+	// token, completion, shedding). The zero value observes nothing and
+	// changes nothing: hook invocation never alters the simulation.
+	Hooks Hooks
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration for closed-loop (trace) use.
 func (c Config) Validate() error {
 	switch c.Bits {
 	case 3, 4, 8, 16:
@@ -208,6 +243,30 @@ func (c Config) Validate() error {
 	if c.Arrival <= 0 || c.Duration <= 0 || c.MaxNew <= 0 {
 		return fmt.Errorf("online: arrival/duration/maxnew must be positive")
 	}
+	return c.validateServing()
+}
+
+// ValidateOpen checks the configuration for open-loop (hook-driven)
+// admission, where the Poisson trace knobs are unused: Arrival and
+// Duration may be zero, but MaxNew must still be positive — it is the
+// per-request generation cap Submit enforces.
+func (c Config) ValidateOpen() error {
+	switch c.Bits {
+	case 3, 4, 8, 16:
+	default:
+		return fmt.Errorf("online: unsupported bitwidth %d", c.Bits)
+	}
+	if c.Arrival < 0 || c.Duration < 0 {
+		return fmt.Errorf("online: negative arrival/duration in open-loop config")
+	}
+	if c.MaxNew <= 0 {
+		return fmt.Errorf("online: max-new cap must be positive")
+	}
+	return c.validateServing()
+}
+
+// validateServing checks the knobs shared by both arrival sources.
+func (c Config) validateServing() error {
 	if c.MaxBatch <= 0 {
 		return fmt.Errorf("online: max batch must be positive")
 	}
@@ -237,7 +296,7 @@ func (c Config) retryPolicy() retry.Policy {
 	return c.Retry
 }
 
-// Stats summarizes a simulation.
+// Stats summarizes a simulation (final for Run, a snapshot for Engine).
 type Stats struct {
 	Completed     int
 	GeneratedTok  int
@@ -245,6 +304,7 @@ type Stats struct {
 	MeanLatency   float64 // request completion latency (admission wait + run)
 	P95Latency    float64
 	MeanBatch     float64 // average concurrent batch while serving
+	PeakBatch     int     // largest continuous batch any decode step ran
 	KVCapacityTok int     // paged-KV capacity in tokens
 	Rejected      int     // arrivals the queue never admitted before sim end
 	// Graceful-degradation accounting (zero without chaos/shedding).
@@ -256,22 +316,97 @@ type Stats struct {
 	FinalKVTok int // KV capacity at simulation end (grows on downshift)
 }
 
-type request struct {
+// Request is one unit of admitted work. Fields are engine-owned; hook
+// consumers read them through the accessors and must not retain the
+// pointer past OnFinish/OnShed.
+type Request struct {
+	id     int
 	arrive float64
 	prompt int
+	maxNew int
 	done   int // tokens generated so far
 	start  float64
 	finish float64
 	shed   bool
 }
 
-// Run simulates the configured workload.
-func Run(c Config) (Stats, error) {
-	if err := c.Validate(); err != nil {
-		return Stats{}, err
-	}
-	rng := rand.New(rand.NewSource(c.Seed))
+// ID is the engine-assigned monotonic submission index.
+func (r *Request) ID() int { return r.id }
 
+// PromptTokens is the prompt length charged against the KV pool.
+func (r *Request) PromptTokens() int { return r.prompt }
+
+// MaxNew is this request's generation budget.
+func (r *Request) MaxNew() int { return r.maxNew }
+
+// Done is the number of tokens generated so far.
+func (r *Request) Done() int { return r.done }
+
+// ArriveSec is the simulated arrival time.
+func (r *Request) ArriveSec() float64 { return r.arrive }
+
+// StartSec is the simulated admission time (0 until admitted).
+func (r *Request) StartSec() float64 { return r.start }
+
+// FinishSec is the simulated completion time (negative when dropped,
+// 0 while in flight).
+func (r *Request) FinishSec() float64 { return r.finish }
+
+// Shed reports whether the request was dropped instead of served.
+func (r *Request) Shed() bool { return r.shed || r.finish < 0 }
+
+// LatencySec is the simulated admission-wait + serve latency (valid
+// after OnFinish).
+func (r *Request) LatencySec() float64 { return r.finish - r.arrive }
+
+// ErrShed is returned by Submit when the admission queue already sits at
+// the ShedDepth watermark: the front door should answer 429 and tell the
+// client when to retry.
+var ErrShed = errors.New("online: admission queue at the shed watermark")
+
+// Engine is the continuous-batching core shared by the closed-loop trace
+// (Run) and the open-loop admission surface (Submit/StepOnce). It is not
+// concurrency-safe: the caller serializes access (the HTTP gateway holds
+// one scheduler lock around every engine call).
+type Engine struct {
+	cfg    Config
+	policy retry.Policy
+
+	bits     int
+	weights  float64
+	kvTokens int
+	poolFor  func(bits int) (weights float64, kvTokens int)
+
+	oo      *onlineObs
+	kvChaos bool
+	kvRng   *rand.Rand
+
+	queue        []*Request
+	qi           int
+	running      []*Request
+	finished     []*Request
+	batchSamples []float64
+	usedTok      int
+	now          float64
+	hot          int
+	steps        int
+	nextID       int
+	st           Stats
+}
+
+// NewEngine builds an open-loop engine: requests are pushed through
+// Submit and decode steps are driven through StepOnce. The configuration
+// is checked with ValidateOpen (the Poisson trace knobs are unused).
+func NewEngine(c Config) (*Engine, error) {
+	if err := c.ValidateOpen(); err != nil {
+		return nil, err
+	}
+	return newEngine(c)
+}
+
+// newEngine computes the memory split and shared state; callers have
+// already validated the configuration for their arrival source.
+func newEngine(c Config) (*Engine, error) {
 	// Memory budget: weights at the current precision + working set; the
 	// remainder is the paged KV pool (vLLM's core resource). Recomputed on
 	// bitwidth downshift, where shrinking weights grows the pool.
@@ -284,253 +419,404 @@ func Run(c Config) (Stats, error) {
 		work := 0.08 * c.GPU.MemoryBytes() // activations + allocator slack
 		return weights, int((c.GPU.MemoryBytes() - weights - work) / perTok)
 	}
-	bits := c.Bits
-	weights, kvTokens := poolFor(bits)
-	if kvTokens <= 0 {
-		return Stats{}, fmt.Errorf("online: %s at %d-bit leaves no KV memory on %s", c.Model.Name, c.Bits, c.GPU.Name)
+	e := &Engine{cfg: c, policy: c.retryPolicy(), bits: c.Bits, poolFor: poolFor}
+	e.weights, e.kvTokens = poolFor(e.bits)
+	if e.kvTokens <= 0 {
+		return nil, fmt.Errorf("online: %s at %d-bit leaves no KV memory on %s", c.Model.Name, c.Bits, c.GPU.Name)
 	}
-	oo := newOnlineObs(c.Obs, c.Bits, kvTokens)
-
+	e.oo = newOnlineObs(c.Obs, c.Bits, e.kvTokens)
 	// Chaos: transient KV-allocation failures, retried with deterministic
 	// jittered backoff that stalls simulated time.
-	kvChaos := c.Chaos.HasKVFaults()
-	var kvRng *rand.Rand
-	if kvChaos {
-		kvRng = rand.New(rand.NewSource(c.Seed ^ c.Chaos.Seed ^ 0x6b76616c6c6f63)) // "kvalloc"
+	e.kvChaos = c.Chaos.HasKVFaults()
+	if e.kvChaos {
+		e.kvRng = rand.New(rand.NewSource(c.Seed ^ c.Chaos.Seed ^ 0x6b76616c6c6f63)) // "kvalloc"
 	}
-	policy := c.retryPolicy()
-	var st Stats
+	e.st.KVCapacityTok = e.kvTokens
+	return e, nil
+}
 
-	// Arrivals.
-	var queue []*request
-	t := 0.0
-	for t < c.Duration {
-		t += rng.ExpFloat64() / c.Arrival
-		p := workload.ShareGPTLengths(1, c.Model.MaxPosEmb-c.MaxNew-1, rng.Int63())[0]
-		queue = append(queue, &request{arrive: t, prompt: p})
+// Submit pushes one request into the admission queue at the current
+// simulated time — the open-loop arrival hook. It validates the request
+// shape (front doors map these errors to 4xx), applies the ShedDepth
+// watermark (ErrShed maps to 429), and returns the queued request. The
+// request is admitted into the batch by a later StepOnce when paged-KV
+// pages and a batch slot are available.
+func (e *Engine) Submit(prompt, maxNew int) (*Request, error) {
+	if prompt <= 0 {
+		return nil, fmt.Errorf("online: prompt tokens must be positive, got %d", prompt)
 	}
+	if maxNew <= 0 {
+		return nil, fmt.Errorf("online: max new tokens must be positive, got %d", maxNew)
+	}
+	if maxNew > e.cfg.MaxNew {
+		return nil, fmt.Errorf("online: max new tokens %d above the configured cap %d", maxNew, e.cfg.MaxNew)
+	}
+	if limit := e.cfg.Model.MaxPosEmb - 1; prompt+maxNew > limit {
+		return nil, fmt.Errorf("online: prompt %d + max new %d tokens exceed the %s context window (%d)",
+			prompt, maxNew, e.cfg.Model.Name, limit)
+	}
+	if e.cfg.ShedDepth > 0 && e.waitingNow() >= e.cfg.ShedDepth {
+		// Record the refusal on the same shed/reject families the
+		// closed-loop watermark uses, so goodput accounting is one story.
+		r := &Request{id: e.nextID, arrive: e.now, prompt: prompt, maxNew: maxNew, shed: true, finish: -1}
+		e.nextID++
+		e.queue = append(e.queue, r)
+		e.st.Shed++
+		e.oo.shed()
+		if e.cfg.Hooks.OnShed != nil {
+			e.cfg.Hooks.OnShed(r)
+		}
+		return r, ErrShed
+	}
+	r := &Request{id: e.nextID, arrive: e.now, prompt: prompt, maxNew: maxNew}
+	e.nextID++
+	e.queue = append(e.queue, r)
+	return r, nil
+}
 
-	var running []*request
-	usedTok := 0
-	now := 0.0
-	var finished []*request
-	var batchSamples []float64
-	qi := 0
-
-	kvNeed := func(r *request) int { return r.prompt + c.MaxNew }
-	// kvAlloc reserves a request's pages, riding out transient chaos
-	// failures with bounded backoff (which stalls simulated time). False
-	// means the retries were exhausted and the request must be shed.
-	kvAlloc := func(r *request, idx int) bool {
-		if !kvChaos {
+// Busy reports whether any request is running or waiting for admission.
+func (e *Engine) Busy() bool {
+	if len(e.running) > 0 {
+		return true
+	}
+	for i := e.qi; i < len(e.queue); i++ {
+		if !e.queue[i].shed {
 			return true
 		}
-		err := policy.Do(c.Seed+int64(idx), func(attempt int) error {
-			p := c.Chaos.KVFailProb(now)
-			if p > 0 && kvRng.Float64() < p {
-				st.KVFailures++
-				oo.kvFail(attempt)
-				return fmt.Errorf("online: transient KV allocation failure")
-			}
-			if attempt > 1 {
-				st.KVRetries++
-			}
-			return nil
-		}, func(delaySec float64) { now += delaySec })
-		return err == nil
 	}
-	shedReq := func(r *request) {
-		r.shed = true
-		r.finish = -1
-		st.Shed++
-		oo.shed()
-	}
-	// shedExcess drops arrived-but-waiting requests beyond the watermark
-	// (newest first go, FIFO order for the survivors).
-	shedExcess := func() {
-		if c.ShedDepth <= 0 {
-			return
+	return false
+}
+
+// Running is the current continuous-batch size.
+func (e *Engine) Running() int { return len(e.running) }
+
+// Waiting counts arrived-but-unadmitted (and unshed) requests.
+func (e *Engine) Waiting() int { return e.waitingNow() }
+
+// Now is the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Bits is the current weight precision (changes under Downshift).
+func (e *Engine) Bits() int { return e.bits }
+
+// KVCapacityTok is the current paged-KV pool size in tokens.
+func (e *Engine) KVCapacityTok() int { return e.kvTokens }
+
+// StepOnce admits whatever fits and runs one continuous-batching decode
+// step, firing hooks along the way. It reports whether a decode step ran
+// — false means the engine is idle (nothing running and nothing
+// admissible; a head request that can never fit the pool has been
+// rejected so the queue cannot wedge).
+func (e *Engine) StepOnce() (bool, error) {
+	if len(e.running) == 0 {
+		e.shedExcess()
+		e.admit()
+		if len(e.running) == 0 {
+			for e.qi < len(e.queue) && e.queue[e.qi].shed {
+				e.qi++
+			}
+			if e.qi < len(e.queue) && e.queue[e.qi].arrive <= e.now {
+				// KV pool cannot fit even one request: reject it.
+				e.rejectHead(e.queue[e.qi])
+				e.qi++
+			}
+			return false, nil
 		}
-		waiting := 0
-		for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
-			if queue[k].shed {
-				continue
-			}
+	}
+	if err := e.step(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rejectHead drops a head-of-line request that can never be admitted.
+func (e *Engine) rejectHead(r *Request) {
+	r.finish = -1
+	e.oo.reject()
+	if e.cfg.Hooks.OnShed != nil {
+		e.cfg.Hooks.OnShed(r)
+	}
+}
+
+// kvNeed is the paged-KV reservation a request holds while running.
+func (e *Engine) kvNeed(r *Request) int { return r.prompt + r.maxNew }
+
+// kvAlloc reserves a request's pages, riding out transient chaos
+// failures with bounded backoff (which stalls simulated time). False
+// means the retries were exhausted and the request must be shed.
+func (e *Engine) kvAlloc(r *Request, idx int) bool {
+	if !e.kvChaos {
+		return true
+	}
+	err := e.policy.Do(e.cfg.Seed+int64(idx), func(attempt int) error {
+		p := e.cfg.Chaos.KVFailProb(e.now)
+		if p > 0 && e.kvRng.Float64() < p {
+			e.st.KVFailures++
+			e.oo.kvFail(attempt)
+			return fmt.Errorf("online: transient KV allocation failure")
+		}
+		if attempt > 1 {
+			e.st.KVRetries++
+		}
+		return nil
+	}, func(delaySec float64) { e.now += delaySec })
+	return err == nil
+}
+
+func (e *Engine) shedReq(r *Request) {
+	r.shed = true
+	r.finish = -1
+	e.st.Shed++
+	e.oo.shed()
+	if e.cfg.Hooks.OnShed != nil {
+		e.cfg.Hooks.OnShed(r)
+	}
+}
+
+// shedExcess drops arrived-but-waiting requests beyond the watermark
+// (newest first go, FIFO order for the survivors).
+func (e *Engine) shedExcess() {
+	if e.cfg.ShedDepth <= 0 {
+		return
+	}
+	waiting := 0
+	for k := e.qi; k < len(e.queue) && e.queue[k].arrive <= e.now; k++ {
+		if e.queue[k].shed {
+			continue
+		}
+		waiting++
+		if waiting > e.cfg.ShedDepth {
+			e.shedReq(e.queue[k])
+		}
+	}
+}
+
+// admit pulls waiting requests into the continuous batch while KV pages
+// and batch slots last, charging prefill on admission.
+func (e *Engine) admit() {
+	for e.qi < len(e.queue) && len(e.running) < e.cfg.MaxBatch {
+		r := e.queue[e.qi]
+		if r.shed {
+			e.qi++
+			continue
+		}
+		if r.arrive > e.now {
+			break
+		}
+		if e.usedTok+e.kvNeed(r) > e.kvTokens {
+			break // head-of-line blocking on KV pages
+		}
+		if !e.kvAlloc(r, e.qi) {
+			// Retries exhausted under memory-pressure chaos: shed
+			// rather than block the admission queue forever.
+			e.shedReq(r)
+			e.qi++
+			continue
+		}
+		e.usedTok += e.kvNeed(r)
+		e.oo.admit()
+		r.start = e.now
+		// Prefill cost charged on admission.
+		pre, _ := profiler.LayerTime(e.cfg.GPU, e.cfg.Model, profiler.Workload{
+			Batch: 1, Prompt: r.prompt, Prefill: true, Bits: e.bits,
+		})
+		e.now += pre * float64(e.cfg.Model.Layers)
+		e.running = append(e.running, r)
+		if e.cfg.Hooks.OnAdmit != nil {
+			e.cfg.Hooks.OnAdmit(r)
+		}
+		e.qi++
+	}
+}
+
+// waitingNow counts arrived-but-unadmitted (and unshed) requests.
+func (e *Engine) waitingNow() int {
+	waiting := 0
+	for k := e.qi; k < len(e.queue) && e.queue[k].arrive <= e.now; k++ {
+		if !e.queue[k].shed {
 			waiting++
-			if waiting > c.ShedDepth {
-				shedReq(queue[k])
-			}
 		}
 	}
-	admit := func() {
-		for qi < len(queue) && len(running) < c.MaxBatch {
-			r := queue[qi]
-			if r.shed {
-				qi++
-				continue
+	return waiting
+}
+
+// Sustained-pressure window before a precision downshift fires.
+const downshiftAfter = 25
+
+// step runs one continuous-batching decode step: every running request
+// produces one token; completions release pages; sustained KV pressure
+// may downshift the precision; then the queue is re-shed and re-admitted.
+func (e *Engine) step() error {
+	b := len(e.running)
+	e.batchSamples = append(e.batchSamples, float64(b))
+	if b > e.st.PeakBatch {
+		e.st.PeakBatch = b
+	}
+	if e.oo != nil {
+		e.oo.step(b, e.waitingNow(), e.usedTok, e.kvTokens)
+	}
+	ctx := 0
+	for _, r := range e.running {
+		ctx += r.prompt + r.done
+	}
+	stepW := profiler.Workload{Batch: b, Prompt: 512, Context: ctx / b, Bits: e.bits}
+	lt, err := profiler.LayerTime(e.cfg.GPU, e.cfg.Model, stepW)
+	if err != nil {
+		return err
+	}
+	e.now += lt * float64(e.cfg.Model.Layers)
+	keep := e.running[:0]
+	for _, r := range e.running {
+		r.done++
+		if e.cfg.Hooks.OnToken != nil {
+			e.cfg.Hooks.OnToken(r)
+		}
+		if r.done >= r.maxNew {
+			r.finish = e.now
+			e.usedTok -= e.kvNeed(r)
+			e.oo.finish(r.finish - r.arrive)
+			e.finished = append(e.finished, r)
+			if e.cfg.Hooks.OnFinish != nil {
+				e.cfg.Hooks.OnFinish(r)
 			}
-			if r.arrive > now {
-				break
-			}
-			if usedTok+kvNeed(r) > kvTokens {
-				break // head-of-line blocking on KV pages
-			}
-			if !kvAlloc(r, qi) {
-				// Retries exhausted under memory-pressure chaos: shed
-				// rather than block the admission queue forever.
-				shedReq(r)
-				qi++
-				continue
-			}
-			usedTok += kvNeed(r)
-			oo.admit()
-			r.start = now
-			// Prefill cost charged on admission.
-			pre, _ := profiler.LayerTime(c.GPU, c.Model, profiler.Workload{
-				Batch: 1, Prompt: r.prompt, Prefill: true, Bits: bits,
-			})
-			now += pre * float64(c.Model.Layers)
-			running = append(running, r)
-			qi++
+		} else {
+			keep = append(keep, r)
 		}
 	}
-
-	// waitingNow counts arrived-but-unadmitted (and unshed) requests.
-	waitingNow := func() int {
-		waiting := 0
-		for k := qi; k < len(queue) && queue[k].arrive <= now; k++ {
-			if !queue[k].shed {
-				waiting++
-			}
+	e.running = keep
+	// Graceful degradation: sustained high KV occupancy with requests
+	// waiting triggers one step down the precision ladder — smaller
+	// weights, bigger pool, slower kernels (§7 trade-off inverted).
+	if e.cfg.Downshift && e.bits > 3 {
+		if e.usedTok*10 > e.kvTokens*9 && e.waitingNow() > 0 {
+			e.hot++
+		} else {
+			e.hot = 0
 		}
-		return waiting
-	}
-
-	st.KVCapacityTok = kvTokens
-	// Sustained-pressure window before a precision downshift fires.
-	const downshiftAfter = 25
-	hot := 0
-
-	const maxSteps = 5_000_000
-	steps := 0
-	for {
-		// Jump to the next arrival when idle.
-		if len(running) == 0 {
-			for qi < len(queue) && queue[qi].shed {
-				qi++
-			}
-			if qi >= len(queue) {
-				break
-			}
-			if queue[qi].arrive > now {
-				now = queue[qi].arrive
-			}
-			shedExcess()
-			admit()
-			if len(running) == 0 {
-				for qi < len(queue) && queue[qi].shed {
-					qi++
-				}
-				if qi < len(queue) && queue[qi].arrive <= now {
-					// KV pool cannot fit even one request: reject it.
-					queue[qi].finish = -1
-					oo.reject()
-					qi++
-				}
-				continue
-			}
-		}
-		// One continuous-batching decode step: every running request
-		// produces one token.
-		b := len(running)
-		batchSamples = append(batchSamples, float64(b))
-		if oo != nil {
-			oo.step(b, waitingNow(), usedTok, kvTokens)
-		}
-		ctx := 0
-		for _, r := range running {
-			ctx += r.prompt + r.done
-		}
-		stepW := profiler.Workload{Batch: b, Prompt: 512, Context: ctx / b, Bits: bits}
-		lt, err := profiler.LayerTime(c.GPU, c.Model, stepW)
-		if err != nil {
-			return Stats{}, err
-		}
-		now += lt * float64(c.Model.Layers)
-		keep := running[:0]
-		for _, r := range running {
-			r.done++
-			if r.done >= c.MaxNew {
-				r.finish = now
-				usedTok -= kvNeed(r)
-				oo.finish(r.finish - r.arrive)
-				finished = append(finished, r)
-			} else {
-				keep = append(keep, r)
-			}
-		}
-		running = keep
-		// Graceful degradation: sustained high KV occupancy with requests
-		// waiting triggers one step down the precision ladder — smaller
-		// weights, bigger pool, slower kernels (§7 trade-off inverted).
-		if c.Downshift && bits > 3 {
-			if usedTok*10 > kvTokens*9 && waitingNow() > 0 {
-				hot++
-			} else {
-				hot = 0
-			}
-			if hot >= downshiftAfter {
-				old := weights
-				bits = downshiftStep(bits)
-				st.Downshifts++
-				weights, kvTokens = poolFor(bits)
-				// Requantization stall: stream the old weights out and the
-				// requantized copy back through HBM.
-				now += (old + weights) / (c.GPU.BandwidthGBs * 1e9)
-				oo.downshift(bits, kvTokens)
-				hot = 0
-			}
-		}
-		shedExcess()
-		admit()
-		steps++
-		if steps > maxSteps {
-			return Stats{}, fmt.Errorf("online: runaway simulation after %d steps", steps)
+		if e.hot >= downshiftAfter {
+			old := e.weights
+			e.bits = downshiftStep(e.bits)
+			e.st.Downshifts++
+			e.weights, e.kvTokens = e.poolFor(e.bits)
+			// Requantization stall: stream the old weights out and the
+			// requantized copy back through HBM.
+			e.now += (old + e.weights) / (e.cfg.GPU.BandwidthGBs * 1e9)
+			e.oo.downshift(e.bits, e.kvTokens)
+			e.hot = 0
 		}
 	}
+	e.shedExcess()
+	e.admit()
+	e.steps++
+	return nil
+}
 
-	var latencies []float64
-	for _, r := range queue {
+// Stats snapshots the engine's statistics. Derived aggregates
+// (throughput, latency percentiles, mean batch) cover the work completed
+// so far; in-flight requests are excluded until they finish.
+func (e *Engine) Stats() Stats {
+	st := e.st
+	for _, r := range e.queue {
 		if r.finish < 0 {
 			st.Rejected++
 		}
 	}
-	for _, r := range finished {
+	var latencies []float64
+	for _, r := range e.finished {
 		st.Completed++
-		st.GeneratedTok += c.MaxNew
+		st.GeneratedTok += r.maxNew
 		latencies = append(latencies, r.finish-r.arrive)
 	}
+	if e.now > 0 {
+		st.Throughput = float64(st.GeneratedTok) / e.now
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		st.MeanLatency = sum / float64(len(latencies))
+		st.P95Latency = latencies[int(math.Min(float64(len(latencies)-1), 0.95*float64(len(latencies))))]
+	}
+	if len(e.batchSamples) > 0 {
+		for _, b := range e.batchSamples {
+			st.MeanBatch += b
+		}
+		st.MeanBatch /= float64(len(e.batchSamples))
+	}
+	st.FinalBits = e.bits
+	st.FinalKVTok = e.kvTokens
+	return st
+}
+
+// Run simulates the configured closed-loop workload: a seeded Poisson
+// arrival trace pushed through the same engine the open-loop admission
+// surface drives.
+func Run(c Config) (Stats, error) {
+	if err := c.Validate(); err != nil {
+		return Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	e, err := newEngine(c)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	// Arrivals.
+	t := 0.0
+	for t < c.Duration {
+		t += rng.ExpFloat64() / c.Arrival
+		p := workload.ShareGPTLengths(1, c.Model.MaxPosEmb-c.MaxNew-1, rng.Int63())[0]
+		e.queue = append(e.queue, &Request{id: e.nextID, arrive: t, prompt: p, maxNew: c.MaxNew})
+		e.nextID++
+	}
+
+	const maxSteps = 5_000_000
+	for {
+		// Jump to the next arrival when idle.
+		if len(e.running) == 0 {
+			for e.qi < len(e.queue) && e.queue[e.qi].shed {
+				e.qi++
+			}
+			if e.qi >= len(e.queue) {
+				break
+			}
+			if e.queue[e.qi].arrive > e.now {
+				e.now = e.queue[e.qi].arrive
+			}
+			e.shedExcess()
+			e.admit()
+			if len(e.running) == 0 {
+				for e.qi < len(e.queue) && e.queue[e.qi].shed {
+					e.qi++
+				}
+				if e.qi < len(e.queue) && e.queue[e.qi].arrive <= e.now {
+					// KV pool cannot fit even one request: reject it.
+					e.rejectHead(e.queue[e.qi])
+					e.qi++
+				}
+				continue
+			}
+		}
+		if err := e.step(); err != nil {
+			return Stats{}, err
+		}
+		if e.steps > maxSteps {
+			return Stats{}, fmt.Errorf("online: runaway simulation after %d steps", e.steps)
+		}
+	}
+
+	st := e.Stats()
 	if st.Completed == 0 {
-		return Stats{}, fmt.Errorf("online: nothing completed (arrival %.2f/s, kv %d tok)", c.Arrival, kvTokens)
+		return Stats{}, fmt.Errorf("online: nothing completed (arrival %.2f/s, kv %d tok)", c.Arrival, e.kvTokens)
 	}
-	st.Throughput = float64(st.GeneratedTok) / now
-	sort.Float64s(latencies)
-	var sum float64
-	for _, l := range latencies {
-		sum += l
-	}
-	st.MeanLatency = sum / float64(len(latencies))
-	st.P95Latency = latencies[int(math.Min(float64(len(latencies)-1), 0.95*float64(len(latencies))))]
-	for _, b := range batchSamples {
-		st.MeanBatch += b
-	}
-	st.MeanBatch /= float64(len(batchSamples))
-	st.FinalBits = bits
-	st.FinalKVTok = kvTokens
 	return st, nil
 }
 
-// downshiftStep is the precision fallback ladder under memory pressure.
+// downshiftStep is the precision fallback ladder under memory pressure:
+// 16→8→4→3, with 3 bits as the floor (the lowest precision the paper's
+// quantizer supports).
 func downshiftStep(bits int) int {
 	switch bits {
 	case 16:

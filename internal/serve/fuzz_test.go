@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/online"
+)
+
+// fuzzServer is one shared gateway per fuzz process: StepHold zero so
+// admitted requests complete as fast as the host can step, ShedDepth
+// zero so the watermark never refuses (every parse-accepted input
+// exercises the full path).
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzGateway(t testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		srv, err := New(Options{
+			Engine: online.Config{
+				GPU: hardware.A100, Model: model.OPT13B, Bits: 8,
+				MaxNew: 8, MaxBatch: 8, Seed: 11,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv = srv
+	})
+	return fuzzSrv
+}
+
+// FuzzCompletionRequest throws arbitrary bytes at the request decoder
+// and the SSE frame writer. The contract under fuzz:
+//
+//   - the handler never panics and never returns 5xx — malformed
+//     bodies, huge prompts, and zero/negative max_tokens are 4xx;
+//   - any 200 is either a well-formed JSON completion or a well-formed
+//     SSE stream terminated by [DONE], with no payload able to forge a
+//     frame boundary.
+func FuzzCompletionRequest(f *testing.F) {
+	f.Add([]byte(`{"prompt": "hello world", "max_tokens": 4}`))
+	f.Add([]byte(`{"prompt": "stream me", "max_tokens": 2, "stream": true}`))
+	f.Add([]byte(`{"prompt": "hi", "max_tokens": 0}`))
+	f.Add([]byte(`{"prompt": "hi", "max_tokens": -3}`))
+	f.Add([]byte(`{"prompt": "hi", "max_tokens": 1000000}`))
+	f.Add([]byte(`{"prompt": ""}`))
+	f.Add([]byte(`{"prompt": `))
+	f.Add([]byte(`{"prompt": 42, "stream": "yes"}`))
+	f.Add([]byte(`{"prompt": "` + strings.Repeat("tok ", 4096) + `"}`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(`{"prompt": "newline \n\n data: [DONE]", "max_tokens": 1, "stream": true}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv := fuzzGateway(t)
+		handler := srv.Handler()
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/completions", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			handler.ServeHTTP(rec, req)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("handler wedged on body %q", body)
+		}
+
+		code := rec.Code
+		if code >= 500 {
+			t.Fatalf("5xx (%d) for body %q: %s", code, body, rec.Body.String())
+		}
+		// Inputs that decode into a shape-invalid request MUST be 4xx.
+		var cr CompletionRequest
+		if err := json.Unmarshal(body, &cr); err == nil {
+			if cr.MaxTokens != nil && *cr.MaxTokens <= 0 && code < 400 {
+				t.Fatalf("max_tokens %d accepted with %d", *cr.MaxTokens, code)
+			}
+			if PromptTokens(cr.Prompt) == 0 && code < 400 {
+				t.Fatalf("empty prompt accepted with %d", code)
+			}
+		}
+		if code != http.StatusOK {
+			return
+		}
+		// Well-formedness of the success body.
+		if rec.Header().Get("Content-Type") == "text/event-stream" {
+			checkSSEBody(t, rec.Body.Bytes())
+			return
+		}
+		var out CompletionResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("200 body is not a completion: %v", err)
+		}
+	})
+}
+
+// checkSSEBody asserts structural integrity of a captured SSE stream:
+// every frame is "data: <one-line payload>", payloads before the
+// terminator parse as JSON, and exactly one [DONE] arrives, last.
+func checkSSEBody(t *testing.T, body []byte) {
+	t.Helper()
+	frames := bytes.Split(body, []byte("\n\n"))
+	if len(frames) < 2 || len(frames[len(frames)-1]) != 0 {
+		t.Fatalf("stream does not end with a frame terminator: %q", body)
+	}
+	frames = frames[:len(frames)-1]
+	for i, fr := range frames {
+		payload, ok := bytes.CutPrefix(fr, []byte("data: "))
+		if !ok {
+			t.Fatalf("frame %d lacks data prefix: %q", i, fr)
+		}
+		if bytes.ContainsRune(payload, '\n') {
+			t.Fatalf("frame %d payload spans lines: %q", i, payload)
+		}
+		if bytes.Equal(payload, []byte("[DONE]")) {
+			if i != len(frames)-1 {
+				t.Fatalf("[DONE] at frame %d of %d", i, len(frames))
+			}
+			return
+		}
+		var cr CompletionResponse
+		if err := json.Unmarshal(payload, &cr); err != nil {
+			t.Fatalf("frame %d payload not JSON: %q: %v", i, payload, err)
+		}
+	}
+	t.Fatalf("stream never terminated with [DONE]: %q", body)
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Ctrl-registry metric families: wall-clock HTTP serving metrics that
+// must never land in the byte-diffed sim registry (simctrl.manifest
+// lists llmpq_serve_* as ctrl families; the registrysplit analyzer
+// enforces the placement).
+const (
+	metricHTTPRequests      = "llmpq_serve_http_requests_total"
+	metricHTTPLatency       = "llmpq_serve_http_request_seconds"
+	metricHTTPInflight      = "llmpq_serve_http_inflight"
+	metricHTTPShed          = "llmpq_serve_http_shed_total"
+	metricHTTPDrainRefusals = "llmpq_serve_http_drain_refusals_total"
+	metricHTTPDrains        = "llmpq_serve_http_drains_total"
+	metricHTTPSSEBytes      = "llmpq_serve_http_sse_bytes_total"
+)
+
+// ctrlMetrics pre-resolves the gateway's wall-clock families on the
+// control registry. A nil registry yields no-op metrics (obs contract).
+type ctrlMetrics struct {
+	ctrl          *obs.Registry
+	latency       *obs.Histogram
+	inflight      *obs.Gauge
+	shed          *obs.Counter
+	drainRefusals *obs.Counter
+	drains        *obs.Counter
+	sseBytes      *obs.Counter
+}
+
+func newCtrlMetrics(ctrl *obs.Registry) *ctrlMetrics {
+	return &ctrlMetrics{
+		ctrl:          ctrl,
+		latency:       ctrl.Histogram(metricHTTPLatency, obs.TimeBuckets()),
+		inflight:      ctrl.Gauge(metricHTTPInflight),
+		shed:          ctrl.Counter(metricHTTPShed),
+		drainRefusals: ctrl.Counter(metricHTTPDrainRefusals),
+		drains:        ctrl.Counter(metricHTTPDrains),
+		sseBytes:      ctrl.Counter(metricHTTPSSEBytes),
+	}
+}
+
+// request counts one finished HTTP exchange. The path label is the
+// matched route, never the raw URL, so cardinality stays bounded.
+func (m *ctrlMetrics) request(route string, code int) {
+	m.ctrl.Counter(metricHTTPRequests,
+		obs.L("code", strconv.Itoa(code)), obs.L("path", route)).Inc()
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// encodeSSEFrame renders one server-sent-event data frame:
+// "data: <json>\n\n". The payload is JSON-encoded, and JSON never
+// contains raw newlines (the encoder escapes them inside strings), so
+// token text cannot forge a frame boundary.
+func encodeSSEFrame(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode SSE frame: %w", err)
+	}
+	buf := make([]byte, 0, len(payload)+8)
+	buf = append(buf, "data: "...)
+	buf = append(buf, payload...)
+	buf = append(buf, '\n', '\n')
+	return buf, nil
+}
+
+// doneFrame is the OpenAI stream terminator.
+var doneFrame = []byte("data: [DONE]\n\n")
+
+// sseWriter streams SSE frames over a ResponseWriter, flushing after
+// every frame so tokens reach the client as they decode. The first
+// write error latches: later frames are dropped silently (the client is
+// gone; the engine still finishes the request).
+type sseWriter struct {
+	w     http.ResponseWriter
+	flush http.Flusher
+	n     int64
+	err   error
+}
+
+// newSSEWriter commits the 200 response with event-stream headers.
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flush, _ := w.(http.Flusher)
+	return &sseWriter{w: w, flush: flush}
+}
+
+// Event writes one data frame carrying v.
+func (s *sseWriter) Event(v any) error {
+	if s.err != nil {
+		return s.err
+	}
+	frame, err := encodeSSEFrame(v)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	return s.write(frame)
+}
+
+// Done writes the [DONE] terminator.
+func (s *sseWriter) Done() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.write(doneFrame)
+}
+
+func (s *sseWriter) write(b []byte) error {
+	n, err := s.w.Write(b)
+	s.n += int64(n)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if s.flush != nil {
+		s.flush.Flush()
+	}
+	return nil
+}
+
+// Bytes is the total byte count streamed so far.
+func (s *sseWriter) Bytes() int64 { return s.n }

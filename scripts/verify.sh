@@ -21,8 +21,8 @@ EOF
 rm -f "$sarif"
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist / serve) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/... ./internal/serve/...
 echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
@@ -101,7 +101,39 @@ for f in metrics.prom trace.json stdout.txt; do
         echo "verify.sh: distributed chaos run is not deterministic ($f differs)" >&2; exit 1; }
 done
 grep -q 'llmpq_dist_injected_conn_drops_total 1' "$obsdir/dchaos1/metrics.prom"
-echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack, ~30s) =="
+echo "== serve smoke (HTTP front door: completion + metrics, sim registry byte-diffable) =="
+go build -o "$obsdir/llmpq-serve" ./cmd/llmpq-serve
+serveaddr="127.0.0.1:$((20000 + RANDOM % 20000))"
+for run in 1 2; do
+    mkdir -p "$obsdir/serve$run"
+    "$obsdir/llmpq-serve" -listen "$serveaddr" -seed 1 -max-new 32 \
+        -sim-metrics-out "$obsdir/serve$run/sim.prom" > "$obsdir/serve$run/stdout.txt" &
+    spid=$!
+    for _ in $(seq 1 100); do
+        curl -sf "http://$serveaddr/healthz" > /dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -sf -X POST "http://$serveaddr/v1/completions" \
+        -d '{"prompt": "partition the layers across devices", "max_tokens": 8}' \
+        > "$obsdir/serve$run/completion.json"
+    curl -sf "http://$serveaddr/metrics" > "$obsdir/serve$run/metrics.prom"
+    kill -TERM "$spid"
+    wait "$spid"
+done
+python3 -m json.tool "$obsdir/serve1/completion.json" > /dev/null 2>&1 || {
+    echo "verify.sh: completion response is not valid JSON" >&2; exit 1; }
+grep -q '"finish_reason": *"length"' "$obsdir/serve1/completion.json"
+grep -q 'llmpq_serve_http_requests_total' "$obsdir/serve1/metrics.prom" || {
+    echo "verify.sh: ctrl registry missing wall-clock HTTP families" >&2; exit 1; }
+grep -q 'llmpq_online_completed_total' "$obsdir/serve1/metrics.prom"
+diff "$obsdir/serve1/sim.prom" "$obsdir/serve2/sim.prom" || {
+    echo "verify.sh: serve sim registry is not deterministic across identical runs" >&2; exit 1; }
+grep -q 'llmpq_online_completed_total' "$obsdir/serve1/sim.prom"
+if grep -q 'llmpq_serve_' "$obsdir/serve1/sim.prom"; then
+    echo "verify.sh: wall-clock llmpq_serve_* families leaked into the sim artifact" >&2; exit 1
+fi
+echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack + completion decode, ~45s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
+go test -run='^$' -fuzz=FuzzCompletionRequest -fuzztime=15s ./internal/serve
 echo "verify.sh: all lanes green"
