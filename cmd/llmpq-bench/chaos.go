@@ -24,8 +24,9 @@ import (
 // function of (profile, seed): the chaos run deliberately skips the
 // wall-clock solver metrics (Spec.Obs stays nil) so two invocations with
 // the same seed diff clean — the contract scripts/verify.sh's chaos
-// smoke enforces.
-func runChaos(profile string, seed int64, metricsOut, traceOut string) error {
+// smoke enforces. The solve cache keeps that contract: its hit/miss
+// counters (flushed by the replan) are deterministic per workload.
+func runChaos(profile string, seed int64, metricsOut, traceOut string, solveCache bool) error {
 	if profile == chaos.ProfileKVPressure {
 		return runChaosOnline(profile, seed, metricsOut)
 	}
@@ -46,6 +47,12 @@ func runChaos(profile string, seed int64, metricsOut, traceOut string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if solveCache {
+		// The initial solve seeds the cache; the failover replan then
+		// warm-starts from it (timing rows and benefit tables survive the
+		// device loss, and the incumbent prunes the degraded scan).
+		spec.Cache = assigner.NewSolveCache()
 	}
 	res, err := assigner.Optimize(spec, nil)
 	if err != nil {

@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +60,8 @@ func main() {
 		chaosProfile = flag.String("chaos-profile", "", "inject a seeded network fault profile (conn-drop | partition | net-delay)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos-profile")
 		chaosHorizon = flag.Float64("chaos-horizon", 5.0, "wall-clock horizon in seconds the profile places faults in")
+		solveCache   = flag.Bool("solve-cache", true, "memoize solver tables so a lease-expiry replan warm-starts; the degraded plan is byte-identical either way")
+		replanOut    = flag.String("replan-out", "", "write the post-replan degraded plan JSON here (empty when the run never replanned)")
 
 		// Worker role.
 		connect   = flag.String("connect", "127.0.0.1:9380", "coordinator address to join")
@@ -73,7 +76,8 @@ func main() {
 		runSingle(*stratFile, *verbose, *gantt, *metricsOut, *traceOut)
 	case "coordinator":
 		runCoordinator(*stratFile, *listen, *workers, *heartbeat, *lease, *deadline,
-			*chaosProfile, *chaosSeed, *chaosHorizon, *verbose, *metricsOut, *traceOut)
+			*chaosProfile, *chaosSeed, *chaosHorizon, *verbose, *metricsOut, *traceOut,
+			*solveCache, *replanOut)
 	case "worker":
 		runWorker(*name, *connect, *hold, *failAfter, *verbose)
 	default:
@@ -151,8 +155,12 @@ func runSingle(stratFile string, verbose, gantt bool, metricsOut, traceOut strin
 }
 
 func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, deadline time.Duration,
-	chaosProfile string, chaosSeed int64, chaosHorizon float64, verbose bool, metricsOut, traceOut string) {
+	chaosProfile string, chaosSeed int64, chaosHorizon float64, verbose bool, metricsOut, traceOut string,
+	solveCache bool, replanOut string) {
 	spec, plan := loadStrategy(stratFile)
+	if solveCache {
+		spec.Cache = assigner.NewSolveCache()
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatalf("listen: %v", err)
@@ -204,6 +212,19 @@ func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, dea
 		fmt.Printf("replanned    %d stages on survivors, %d layers migrated (%.0f MB, %.4f s)\n",
 			res.DegradedPlan.NumStages(), res.MovedLayers, res.Migration.TotalBytes/1e6, res.Migration.TransferSec)
 		fmt.Printf("total        %d tokens in %.4f s\n", res.TotalTokens, res.TotalLatencySec)
+		if replanOut != "" {
+			// The degraded plan is a pure function of (strategy, lost
+			// worker), so this artifact byte-diffs across runs — warm or
+			// cold — under a deterministic loss point (-fail-after).
+			buf, err := json.MarshalIndent(res.DegradedPlan, "", "  ")
+			if err != nil {
+				fatalf("encode degraded plan: %v", err)
+			}
+			if err := os.WriteFile(replanOut, append(buf, '\n'), 0o644); err != nil {
+				fatalf("write degraded plan: %v", err)
+			}
+			fmt.Printf("replan plan  %s\n", replanOut)
+		}
 	}
 	writeArtifacts(reg, rec, metricsOut, traceOut)
 }

@@ -9,8 +9,9 @@ import (
 // starting point of the Algorithm 2 heuristic: the latency objective is
 // dropped, layers are partitioned across devices in proportion to memory
 // capacity, and each stage independently picks the quality-optimal (minimum
-// ω) two-precision mixture that fits its memory.
-func solveAdabits(t *Tables, order []int) (*Plan, error) {
+// ω) two-precision mixture that fits its memory. bt is the shared
+// kmax = layerGroups benefit table from benefitsFor.
+func solveAdabits(t *Tables, order []int, bt *benefitTable) (*Plan, error) {
 	s := t.Spec
 	n := len(order)
 	L := s.layerGroups()
@@ -69,11 +70,6 @@ func solveAdabits(t *Tables, order []int) (*Plan, error) {
 	}
 	p.Boundaries[n] = L
 
-	kmax := L
-	bt, err := buildBenefits(s, kmax)
-	if err != nil {
-		return nil, err
-	}
 	for j := 0; j < n; j++ {
 		d := order[j]
 		_, _, cMem := stageConst(t, order, j)

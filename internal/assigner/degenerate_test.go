@@ -1,0 +1,132 @@
+package assigner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/indicator"
+	"repro/internal/model"
+	"repro/internal/profiler"
+)
+
+// constTimer prices every layer at a fixed value (zero, NaN, and +Inf
+// included) — with zero the ε-cap grid degenerates to all-zero caps and
+// every stage constant vanishes.
+type constTimer float64
+
+func (c constTimer) Layer(hardware.GPU, model.Config, profiler.Workload) (float64, error) {
+	return float64(c), nil
+}
+
+// TestDegenerateEpsilonGrid drives solveStructured's ε sweep through
+// inputs that historically produce NaN caps or panics in cap-scan DPs:
+// zero layer times, NaN layer times, a single-device order, and exactly
+// one layer group per device. The contract: a valid finite plan or a
+// clean infeasibility error — never NaN, never a panic.
+func TestDegenerateEpsilonGrid(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  func() *Spec
+		timer LayerTimer
+		// wantErr: "" = must solve; "any" = must error cleanly.
+		wantErr string
+	}{
+		{
+			name:  "zero-times-two-devices",
+			spec:  func() *Spec { return tinySpec(MethodDP, 0.1, 3, 3) },
+			timer: constTimer(0),
+		},
+		{
+			name: "zero-times-single-device",
+			spec: func() *Spec {
+				s := tinySpec(MethodDP, 0.1, 0, 0)
+				s.Cluster = hardware.Cluster{Name: "solo", InterNode: hardware.NVLink,
+					Devices: []hardware.Device{{ID: 0, GPU: tinyGPU("solo", 3, 50, 600), Node: 0}}}
+				return s
+			},
+			timer: constTimer(0),
+		},
+		{
+			name:    "nan-times",
+			spec:    func() *Spec { return tinySpec(MethodDP, 0.1, 3, 3) },
+			timer:   constTimer(math.NaN()),
+			wantErr: "any",
+		},
+		{
+			name:    "inf-times",
+			spec:    func() *Spec { return tinySpec(MethodDP, 0.1, 3, 3) },
+			timer:   constTimer(math.Inf(1)),
+			wantErr: "any",
+		},
+		{
+			name: "one-group-per-device",
+			spec: func() *Spec {
+				cfg := tinyModel
+				cfg.Layers = 2
+				s := tinySpec(MethodDP, 0.1, 3, 3)
+				s.Cfg = cfg
+				s.Omega = subsetOmega(indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 7), []int{4, 8, 16})
+				return s
+			},
+		},
+		{
+			name: "one-group-per-device-zero-times",
+			spec: func() *Spec {
+				cfg := tinyModel
+				cfg.Layers = 2
+				s := tinySpec(MethodDP, 0.1, 3, 3)
+				s.Cfg = cfg
+				s.Omega = subsetOmega(indicator.Synthetic(cfg, []int{3, 4, 8, 16}, 7), []int{4, 8, 16})
+				return s
+			},
+			timer: constTimer(0),
+		},
+		{
+			name: "theta-zero",
+			spec: func() *Spec { return tinySpec(MethodDP, 0, 3, 3) },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("solver panicked on degenerate input: %v", r)
+				}
+			}()
+			res, err := Optimize(tc.spec(), tc.timer)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want a clean infeasibility error, got plan %+v", res.Plan)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("degenerate-but-solvable input errored: %v", err)
+			}
+			p := res.Plan
+			for _, v := range []struct {
+				name string
+				val  float64
+			}{
+				{"objective", p.Objective},
+				{"latency_sec", p.LatencySec},
+				{"omega_sum", p.OmegaSum},
+			} {
+				if math.IsNaN(v.val) {
+					t.Errorf("plan %s is NaN", v.name)
+				}
+				if math.IsInf(v.val, 0) {
+					t.Errorf("plan %s is infinite", v.name)
+				}
+			}
+			if err := p.Validate(tc.spec()); err != nil {
+				t.Errorf("degenerate input produced a structurally invalid plan: %v", err)
+			}
+			if !res.Eval.Feasible {
+				t.Error("returned plan is marked infeasible")
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // The structured DP solver (DESIGN.md §5.1).
@@ -336,19 +338,79 @@ func solveDP(t *Tables, order []int, bt *benefitTable, kmax int, capPre, capDec 
 	return p, nil
 }
 
+// benefitsFor builds (or fetches from the spec's cache) the one benefit
+// table every inner solver of an Optimize call shares. It is always built
+// at kmax = layerGroups: the per-(lo, k) prefix sums depend only on k,
+// never on the build bound (omegaFor's offsets are functions of k alone),
+// so the maximal table answers every query a tighter bound would — with
+// bit-identical values — and stays valid when a fleet change alters the
+// per-stage bound.
+func benefitsFor(s *Spec) (*benefitTable, error) {
+	build := func() (*benefitTable, error) { return buildBenefits(s, s.layerGroups()) }
+	if s.Cache == nil {
+		return build()
+	}
+	return s.Cache.benefits("benefits|"+s.benefitsKey(), build)
+}
+
+// workPool is the spare-worker budget of one Optimize call: the slots of
+// Spec.Parallelism not consumed by the outer (order × micro-batch) scan.
+// The ε-cap sweep inside solveStructured borrows extra goroutines from it
+// non-blockingly — when the outer scan is wide enough to use every slot,
+// tryAcquire fails and the sweep stays serial, so the total goroutine
+// count never exceeds the requested parallelism. A nil pool always
+// declines.
+type workPool struct {
+	sem chan struct{}
+}
+
+func newWorkPool(spare int) *workPool {
+	if spare <= 0 {
+		return nil
+	}
+	return &workPool{sem: make(chan struct{}, spare)}
+}
+
+func (p *workPool) tryAcquire() bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *workPool) release() {
+	if p != nil {
+		<-p.sem
+	}
+}
+
+// sweepSlot is one ε-grid entry's outcome, reduced in grid order.
+type sweepSlot struct {
+	plan *Plan
+	ev   Evaluation
+	ok   bool
+	err  error
+}
+
 // solveStructured runs the ε-constraint scan for one (order, tables) pair
-// and returns the best exactly-evaluated feasible plan, or nil.
-func solveStructured(t *Tables, order []int) (*Plan, *Evaluation, error) {
+// and returns the best exactly-evaluated feasible plan, or nil. The grid
+// entries are independent re-solves over the shared read-only benefit
+// table, so they run concurrently on whatever spare workers pool grants;
+// each lands in its own slot and the slots are reduced in grid index
+// order with the strict-improvement rule, keeping the winner — and any
+// error reported — byte-identical to the serial sweep.
+func solveStructured(t *Tables, order []int, bt *benefitTable, pool *workPool) (*Plan, *Evaluation, error) {
 	s := t.Spec
 	n := len(order)
 	kmax := s.layerGroups() - (n - 1)
 	perStage := (s.layerGroups() + n - 1) / n
 	if lim := 3*perStage + 2; lim < kmax {
 		kmax = lim
-	}
-	bt, err := buildBenefits(s, kmax)
-	if err != nil {
-		return nil, nil, err
 	}
 	// Unconstrained pass: the caps are the shared sentinel, which no
 	// finite stage time can reach.
@@ -362,24 +424,64 @@ func solveStructured(t *Tables, order []int) (*Plan, *Evaluation, error) {
 		return nil, nil, err
 	}
 	maxPre, maxDec := maxOf(bestEv.StagePre), maxOf(bestEv.StageDec)
+	// Degenerate-input guard: a timer that leaks NaN into the stage times
+	// must not poison the ε-caps (NaN caps make every > comparison false,
+	// silently disabling the memory/time pruning). satAdd already absorbs
+	// NaN cells into the infeasibility sentinel; if NaN still reached the
+	// base evaluation, declare the combination infeasible rather than
+	// sweep garbage.
+	if math.IsNaN(maxPre) || math.IsNaN(maxDec) {
+		return nil, nil, nil
+	}
 	grid := [][2]float64{
 		{0.92, 0.92}, {0.82, 0.82}, {0.7, 0.7}, {0.55, 0.55}, {0.4, 0.4},
 		{1, 0.7}, {0.7, 1}, {1, 0.45}, {0.45, 1}, {0.85, 0.6}, {0.6, 0.85},
 	}
-	for _, fc := range grid {
+	slots := make([]sweepSlot, len(grid))
+	run := func(i int) {
+		fc := grid[i]
 		p, err := solveDP(t, order, bt, kmax, fc[0]*maxPre, fc[1]*maxDec)
 		if err != nil {
-			return nil, nil, err
+			slots[i].err = err
+			return
 		}
 		if p == nil {
-			continue
+			return
 		}
 		ev, err := Evaluate(t, p)
 		if err != nil {
-			return nil, nil, err
+			slots[i].err = err
+			return
 		}
-		if ev.Feasible && ev.Objective < bestEv.Objective {
-			bestPlan, bestEv = p, ev
+		slots[i] = sweepSlot{plan: p, ev: ev, ok: true}
+	}
+	var next atomic.Int64
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(grid) {
+				return
+			}
+			run(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < len(grid)-1 && pool.tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pool.release()
+			claim()
+		}()
+	}
+	claim()
+	wg.Wait()
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, nil, slots[i].err
+		}
+		if slots[i].ok && slots[i].ev.Feasible && slots[i].ev.Objective < bestEv.Objective {
+			bestPlan, bestEv = slots[i].plan, slots[i].ev
 		}
 	}
 	if !bestEv.Feasible {
@@ -397,7 +499,7 @@ func solveStructured(t *Tables, order []int) (*Plan, *Evaluation, error) {
 	}
 	// Also descend from the adabits basin: guarantees MethodDP dominates
 	// both the pure-quantization baseline and the heuristic.
-	if seed, err := solveAdabits(t, order); err != nil {
+	if seed, err := solveAdabits(t, order, bt); err != nil {
 		return nil, nil, err
 	} else if seed != nil {
 		hplan, hev, err := bitwidthTransfer(t, seed)

@@ -12,6 +12,12 @@ const (
 	metricSolverDPCells      = "llmpq_solver_dp_cells_total"
 	metricSolverILPNodes     = "llmpq_solver_ilp_nodes_total"
 	metricSolverILPPivots    = "llmpq_solver_ilp_pivots_total"
+	// SolveCache lookup counters (flushed by SolveCache.Export). Hit/miss
+	// totals are deterministic for a deterministic workload — exactly one
+	// miss is ever counted per cache key — so they live in the sim
+	// llmpq_solver_* family.
+	metricSolverCacheHits   = "llmpq_solver_cache_hits_total"
+	metricSolverCacheMisses = "llmpq_solver_cache_misses_total"
 )
 
 // obsPlanDone records one completed Optimize call: end-to-end time to plan

@@ -3,6 +3,7 @@ package assigner
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -124,11 +125,61 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 		}
 	}
 
+	// One benefit table serves every inner solve of this call (and, via
+	// the cache, future calls): see benefitsFor. MethodILP never reads it.
+	var bt *benefitTable
+	if s.Method != MethodILP {
+		var err error
+		if bt, err = benefitsFor(s); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Warm start: re-score the incumbent (if any, and if it is valid for
+	// this spec) on this call's tables. Its exact objective becomes the
+	// pruning bar for the scan below; combinations whose cheap lower
+	// bound cannot beat it are skipped, with a post-barrier fallback that
+	// keeps the result byte-identical to a cold solve (DESIGN.md §13).
+	incObj := math.Inf(1)
+	if s.Incumbent != nil {
+		incObj = incumbentObjective(s, tables, mbps)
+	}
+	var minOmega float64
+	if !math.IsInf(incObj, 1) {
+		mo, err := minOmegaTotal(s)
+		if err != nil {
+			incObj = math.Inf(1) // no pruning; the cold path surfaces the error
+		} else {
+			minOmega = mo
+		}
+	}
+
 	combos := len(mbps) * len(orders)
 	results := make([]comboOutcome, combos)
+	pruned := make([]bool, combos)
 	workers := s.parallelism()
 	if workers > combos {
 		workers = combos
+	}
+	// Parallelism slots the outer scan leaves unused are lent to the
+	// ε-cap sweeps inside solveStructured, so a narrow scan (one order,
+	// one micro-batch — the common replan shape) still fills the budget.
+	pool := newWorkPool(s.parallelism() - workers)
+	comboBase := ""
+	if s.Cache != nil {
+		if timerKey, ok := timerCacheKey(timer); ok {
+			comboBase = s.comboBaseKey(timerKey)
+		}
+	}
+	solveCombo := func(idx int) (*Plan, *Evaluation, error) {
+		t := tables[idx/len(orders)]
+		order := orders[idx%len(orders)]
+		if comboBase == "" {
+			return solveInner(s, t, order, bt, pool)
+		}
+		return s.Cache.combo(comboKey(comboBase, t.PrefillMB, order), func() (*Plan, *Evaluation, error) {
+			return solveInner(s, t, order, bt, pool)
+		})
 	}
 	// Early abort (ROADMAP): a hard solver error cancels the context so
 	// in-flight workers stop claiming new combinations instead of
@@ -158,7 +209,11 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 					err = testComboFault(idx)
 				}
 				if err == nil {
-					plan, ev, err = solveInner(s, tables[idx/len(orders)], orders[idx%len(orders)])
+					if lbPrunes(tables[idx/len(orders)], orders[idx%len(orders)], incObj, minOmega) {
+						pruned[idx] = true
+					} else {
+						plan, ev, err = solveCombo(idx)
+					}
 				}
 				results[idx] = comboOutcome{plan: plan, ev: ev, err: err}
 				if err != nil {
@@ -176,15 +231,66 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 	// Deterministic reduction over the canonical combination order.
 	var best *Plan
 	var bestEv Evaluation
-	for _, r := range results {
-		if r.err != nil {
-			return fail(r.err)
+	reduce := func() error {
+		best, bestEv = nil, Evaluation{}
+		for _, r := range results {
+			if r.err != nil {
+				return r.err
+			}
+			if r.plan == nil {
+				continue
+			}
+			if best == nil || r.ev.Objective < bestEv.Objective {
+				best, bestEv = r.plan, *r.ev
+			}
 		}
-		if r.plan == nil {
-			continue
+		return nil
+	}
+	if err := reduce(); err != nil {
+		return fail(err)
+	}
+	// Warm-start soundness check. If the un-pruned scan matched or beat
+	// the incumbent, every pruned combination is certified strictly worse
+	// than the winner (its lower bound exceeded the incumbent's
+	// objective), so the reduction above is already the cold answer —
+	// including ties, which all sit in the un-pruned set. Otherwise the
+	// incumbent's bar was never met (the inner solvers are ε-grid
+	// heuristics and may score worse than an externally supplied plan):
+	// solve the pruned combinations after all and re-reduce, which is
+	// exactly the cold scan.
+	if best == nil || bestEv.Objective > incObj {
+		var rest []int
+		for idx, p := range pruned {
+			if p {
+				rest = append(rest, idx)
+			}
 		}
-		if best == nil || r.ev.Objective < bestEv.Objective {
-			best, bestEv = r.plan, *r.ev
+		if len(rest) > 0 {
+			var rnext atomic.Int64
+			var rwg sync.WaitGroup
+			rworkers := workers
+			if rworkers > len(rest) {
+				rworkers = len(rest)
+			}
+			for w := 0; w < rworkers; w++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					for {
+						i := int(rnext.Add(1)) - 1
+						if i >= len(rest) {
+							return
+						}
+						idx := rest[i]
+						plan, ev, err := solveCombo(idx)
+						results[idx] = comboOutcome{plan: plan, ev: ev, err: err}
+					}
+				}()
+			}
+			rwg.Wait()
+			if err := reduce(); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	if best == nil {
@@ -197,10 +303,10 @@ func Optimize(s *Spec, timer LayerTimer) (*Result, error) {
 	return &Result{Plan: best, Eval: bestEv, Solve: solve, Explored: explored}, nil
 }
 
-func solveInner(s *Spec, t *Tables, order []int) (*Plan, *Evaluation, error) {
+func solveInner(s *Spec, t *Tables, order []int, bt *benefitTable, pool *workPool) (*Plan, *Evaluation, error) {
 	switch s.Method {
 	case MethodDP:
-		return solveStructured(t, order)
+		return solveStructured(t, order, bt, pool)
 	case MethodILP:
 		plan, err := solveILP(t, order, s.TimeLimit)
 		if err != nil || plan == nil {
@@ -208,13 +314,13 @@ func solveInner(s *Spec, t *Tables, order []int) (*Plan, *Evaluation, error) {
 		}
 		return evaluated(t, plan)
 	case MethodAdabits:
-		plan, err := solveAdabits(t, order)
+		plan, err := solveAdabits(t, order, bt)
 		if err != nil || plan == nil {
 			return nil, nil, err
 		}
 		return evaluated(t, plan)
 	case MethodHeuristic:
-		seed, err := solveAdabits(t, order)
+		seed, err := solveAdabits(t, order, bt)
 		if err != nil || seed == nil {
 			return nil, nil, err
 		}

@@ -111,7 +111,34 @@ type Spec struct {
 	// micro-batch) combinations, DP cells expanded, ILP nodes and simplex
 	// pivots (DESIGN.md §8). Nil keeps the solve uninstrumented.
 	Obs *obs.Registry
+	// Cache, when non-nil, memoizes spec-derived solver artifacts (timing
+	// rows, benefit tables, combination outcomes) across Optimize calls,
+	// keyed by content hashes of the fields that feed each computation
+	// (DESIGN.md §13). A replan after a fleet change then recomputes only
+	// what the change invalidated. Plans are byte-identical with or
+	// without a cache; the cache may be shared across specs and
+	// concurrent solves. Timers that don't implement CacheKeyer bypass it.
+	Cache *SolveCache
+	// Incumbent, when non-nil, warm-starts the scan: it is re-evaluated
+	// on this spec's tables and its exact objective is used to prune
+	// (order, micro-batch) combinations whose cheap lower bound proves
+	// they cannot beat it. Pruning never changes the answer — if the
+	// un-pruned scan fails to match the incumbent, the pruned
+	// combinations are solved after all — so the result stays
+	// byte-identical to a cold solve (DESIGN.md §13). An incumbent that
+	// doesn't validate against this spec is ignored. failover projects
+	// the surviving assignment into one via SurvivorIncumbent.
+	Incumbent *Plan
 }
+
+// MaxDeviceTypes bounds the distinct GPU types Validate accepts.
+// CandidateOrders enumerates one device ordering per permutation of the
+// same-type blocks, so the scan grows factorially in the type count:
+// 6 types already mean 720 orderings per micro-batch candidate, and 8
+// would mean 40320 — a solve that looks hung. Real heterogeneous
+// deployments mix a handful of GPU generations; reject anything beyond
+// that with a clear error instead of disappearing into permutations.
+const MaxDeviceTypes = 6
 
 // Validate checks the spec.
 func (s *Spec) Validate() error {
@@ -130,6 +157,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Cluster.NumDevices() > s.layerGroups() {
 		return fmt.Errorf("assigner: %d devices but only %d layer groups", s.Cluster.NumDevices(), s.layerGroups())
+	}
+	types := map[string]bool{}
+	for _, d := range s.Cluster.Devices {
+		types[d.GPU.Name] = true
+	}
+	if len(types) > MaxDeviceTypes {
+		return fmt.Errorf("assigner: cluster %s mixes %d GPU types, max %d (the order scan enumerates one ordering per type permutation — %d types would mean a factorial blow-up)",
+			s.Cluster.Name, len(types), MaxDeviceTypes, len(types))
 	}
 	if s.Theta < 0 {
 		return fmt.Errorf("assigner: negative theta %g", s.Theta)
@@ -191,6 +226,11 @@ func (s *Spec) decodeMicroBatch() int {
 	}
 	return mb
 }
+
+// DecodeMicroBatch exposes the decode micro-batch size the planner uses
+// for this spec (Optimization #1): ceil(GlobalBatch / NumDevices).
+// failover uses it to project an incumbent plan onto a reduced cluster.
+func (s *Spec) DecodeMicroBatch() int { return s.decodeMicroBatch() }
 
 // prefillCandidates returns the micro-batch sizes to enumerate.
 func (s *Spec) prefillCandidates() []int {

@@ -83,8 +83,6 @@ func BuildTables(s *Spec, timer LayerTimer, prefillMB int) (*Tables, error) {
 	n := s.Cluster.NumDevices()
 	g := s.groupSize()
 	decodeMB := s.decodeMicroBatch()
-	// Representative decode context: mid-generation.
-	ctx := s.Work.Prompt + s.Work.Generate/2
 	t := &Tables{
 		Spec: s, PrefillMB: prefillMB, DecodeMB: decodeMB,
 		TPre: make([][]float64, n), TDec: make([][]float64, n),
@@ -97,25 +95,39 @@ func BuildTables(s *Spec, timer LayerTimer, prefillMB int) (*Tables, error) {
 		t.GroupMem[bi] = float64(g) * (s.Cfg.LayerWeightBytes(bits) +
 			s.Cfg.KVBytesPerLayer(s.Work.GlobalBatch, maxSeq, s.kvBits()))
 	}
+	// Timing rows depend on the GPU type, not the device index, so a
+	// SolveCache keys them by GPU content: same-type devices share one
+	// row, and a replan on survivors reuses every row the loss didn't
+	// touch. Cached rows are shared slices — read-only by contract.
+	var rowBase string
+	if s.Cache != nil {
+		if timerKey, ok := timerCacheKey(timer); ok {
+			rowBase = s.rowBaseKey(timerKey)
+		}
+	}
 	for d, dev := range s.Cluster.Devices {
 		t.Capacity[d] = dev.GPU.MemoryBytes() * (1 - s.memoryReserve())
-		t.TPre[d] = make([]float64, len(s.Bits))
-		t.TDec[d] = make([]float64, len(s.Bits))
-		for bi, bits := range s.Bits {
-			pre, err := timer.Layer(dev.GPU, s.Cfg, profiler.Workload{
-				Batch: prefillMB, Prompt: s.Work.Prompt, Prefill: true, Bits: bits, KV: s.kvBits(),
+		var err error
+		if rowBase != "" {
+			gk := gpuKey(dev.GPU)
+			t.TPre[d], err = s.Cache.timeRow(fmt.Sprintf("pre|%s|%s|%d", rowBase, gk, prefillMB), func() ([]float64, error) {
+				return buildPrefillRow(s, timer, dev.GPU, prefillMB)
 			})
 			if err != nil {
 				return nil, err
 			}
-			dec, err := timer.Layer(dev.GPU, s.Cfg, profiler.Workload{
-				Batch: decodeMB, Prompt: s.Work.Prompt, Context: ctx, Bits: bits, KV: s.kvBits(),
+			t.TDec[d], err = s.Cache.timeRow(fmt.Sprintf("dec|%s|%s|%d", rowBase, gk, decodeMB), func() ([]float64, error) {
+				return buildDecodeRow(s, timer, dev.GPU, decodeMB)
 			})
+		} else {
+			t.TPre[d], err = buildPrefillRow(s, timer, dev.GPU, prefillMB)
 			if err != nil {
 				return nil, err
 			}
-			t.TPre[d][bi] = pre * float64(g)
-			t.TDec[d][bi] = dec * float64(g)
+			t.TDec[d], err = buildDecodeRow(s, timer, dev.GPU, decodeMB)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	// Peak temporary memory (same accounting as costmodel.StageMemory).
@@ -161,6 +173,40 @@ func BuildTables(s *Spec, timer LayerTimer, prefillMB int) (*Tables, error) {
 		}
 	}
 	return t, nil
+}
+
+// buildPrefillRow computes one device type's per-bit prefill group times.
+func buildPrefillRow(s *Spec, timer LayerTimer, gpu hardware.GPU, prefillMB int) ([]float64, error) {
+	g := s.groupSize()
+	row := make([]float64, len(s.Bits))
+	for bi, bits := range s.Bits {
+		pre, err := timer.Layer(gpu, s.Cfg, profiler.Workload{
+			Batch: prefillMB, Prompt: s.Work.Prompt, Prefill: true, Bits: bits, KV: s.kvBits(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row[bi] = pre * float64(g)
+	}
+	return row, nil
+}
+
+// buildDecodeRow computes one device type's per-bit decode group times at
+// the representative mid-generation context.
+func buildDecodeRow(s *Spec, timer LayerTimer, gpu hardware.GPU, decodeMB int) ([]float64, error) {
+	g := s.groupSize()
+	ctx := s.Work.Prompt + s.Work.Generate/2
+	row := make([]float64, len(s.Bits))
+	for bi, bits := range s.Bits {
+		dec, err := timer.Layer(gpu, s.Cfg, profiler.Workload{
+			Batch: decodeMB, Prompt: s.Work.Prompt, Context: ctx, Bits: bits, KV: s.kvBits(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row[bi] = dec * float64(g)
+	}
+	return row, nil
 }
 
 // bitIndex maps a bitwidth to its index in Spec.Bits.

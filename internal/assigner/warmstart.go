@@ -1,0 +1,132 @@
+package assigner
+
+import "math"
+
+// Warm-start pruning (DESIGN.md §13).
+//
+// A replan rarely needs the full (order × micro-batch) scan: the caller
+// already holds a feasible plan for the same spec — the surviving
+// assignment projected onto the reduced cluster — and most combinations
+// provably cannot beat it. comboLowerBound certifies that: it is a cheap
+// lower bound on the exact Evaluate objective of EVERY plan an inner
+// solver could return for one (tables, order) combination, feasible or
+// not. A combination is skipped only when its bound strictly exceeds the
+// incumbent's exact objective (with a relative slack absorbing float
+// noise), and Optimize falls back to solving the skipped set whenever the
+// un-pruned scan fails to match the incumbent — so the scan's winner is
+// always byte-identical to the cold solve's.
+
+// lbFloatSlack is the relative safety margin on the pruning comparison:
+// comboLowerBound and Evaluate accumulate the same non-negative terms in
+// different orders, so their float results can differ by a few ulps. The
+// bound must only prune when it exceeds the incumbent by more than that
+// noise; 1e-9 relative is ~6 orders of magnitude above the worst drift
+// these sums can accumulate and ~6 below any real objective gap.
+const lbFloatSlack = 1e-9
+
+// lbPrunes reports whether the (tables, order) combination is certified
+// to be unable to beat the incumbent objective. Infinite incObj (no
+// usable incumbent) never prunes.
+func lbPrunes(t *Tables, order []int, incObj, minOmega float64) bool {
+	if math.IsInf(incObj, 1) {
+		return false
+	}
+	return comboLowerBound(t, order, minOmega) > incObj*(1+lbFloatSlack)
+}
+
+// comboLowerBound bounds, from below, the objective of every plan for
+// this combination, by relaxing the partition: each stage runs its
+// position-dependent constants plus at least one group at the device's
+// fastest bitwidth, the remaining L−n groups each cost at least the
+// cluster-wide fastest group time, and the pipeline premium charges the
+// slowest certainly-incurred stage. The quality term is bounded by the
+// per-group minimum ω (see minOmegaTotal). Every term under-approximates
+// its Evaluate counterpart, so the bound is sound for any boundaries and
+// any bit assignment.
+func comboLowerBound(t *Tables, order []int, minOmega float64) float64 {
+	s := t.Spec
+	n := len(order)
+	L := s.layerGroups()
+	minPreAll, minDecAll := math.Inf(1), math.Inf(1)
+	var sumPre, sumDec, maxPre, maxDec float64
+	for j, d := range order {
+		cPre, cDec, _ := stageConst(t, order, j)
+		mp, md := math.Inf(1), math.Inf(1)
+		for bi := range s.Bits {
+			if t.TPre[d][bi] < mp {
+				mp = t.TPre[d][bi]
+			}
+			if t.TDec[d][bi] < md {
+				md = t.TDec[d][bi]
+			}
+		}
+		sumPre += cPre + mp
+		sumDec += cDec + md
+		if cPre+mp > maxPre {
+			maxPre = cPre + mp
+		}
+		if cDec+md > maxDec {
+			maxDec = cDec + md
+		}
+		if mp < minPreAll {
+			minPreAll = mp
+		}
+		if md < minDecAll {
+			minDecAll = md
+		}
+	}
+	sumPre += float64(L-n) * minPreAll
+	sumDec += float64(L-n) * minDecAll
+	kp := (s.Work.GlobalBatch + t.PrefillMB - 1) / t.PrefillMB
+	kd := (s.Work.GlobalBatch + t.DecodeMB - 1) / t.DecodeMB
+	lb := sumPre + float64(kp-1)*maxPre
+	rounds := (s.Work.Generate - 1) * kd
+	if rounds > 0 {
+		lb += sumDec + float64(rounds-1)*maxDec
+	}
+	return lb + s.Theta*minOmega
+}
+
+// minOmegaTotal is Σ_l min_{b ∈ Bits} ω(l, b): the smallest quality
+// penalty any bit assignment can reach. With Theta ≥ 0 (Validate) this
+// under-approximates every plan's θ·OmegaSum term.
+func minOmegaTotal(s *Spec) (float64, error) {
+	var total float64
+	for l := 0; l < s.layerGroups(); l++ {
+		m := math.Inf(1)
+		for _, bits := range s.Bits {
+			w, err := s.Omega.At(l, bits)
+			if err != nil {
+				return 0, err
+			}
+			if w < m {
+				m = w
+			}
+		}
+		total += m
+	}
+	return total, nil
+}
+
+// incumbentObjective re-scores Spec.Incumbent on this call's tables and
+// returns its exact objective, or +Inf when the incumbent is unusable
+// for this spec (wrong shape, micro-batch not a candidate, stale decode
+// micro-batch, infeasible, or any evaluation error) — pruning then
+// simply never fires and the scan is the cold scan.
+func incumbentObjective(s *Spec, tables []*Tables, mbps []int) float64 {
+	inc := s.Incumbent
+	for i, mb := range mbps {
+		if mb != inc.PrefillMB {
+			continue
+		}
+		if inc.DecodeMB != tables[i].DecodeMB {
+			return math.Inf(1)
+		}
+		ev, err := Evaluate(tables[i], inc)
+		if err != nil || !ev.Feasible {
+			return math.Inf(1)
+		}
+		return ev.Objective
+	}
+	return math.Inf(1)
+}

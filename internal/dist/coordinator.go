@@ -340,7 +340,7 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	cfg.Logf("worker %s lost (stage %d, device %d, co-lost devices %v) at %.3fs; replanning on survivors",
 		deadName, lost.Stage, lost.Device, coLost, lost.AtSec)
 
-	out, err := failover.ReplanMulti(cfg.Spec, cfg.Plan, cfg.Timer, lost, coLost, cfg.Obs, cfg.Spans)
+	out, err := failover.ReplanMulti(cfg.Spec, cfg.Plan, cfg.Timer, lost, coLost, cfg.Obs, cfg.CtrlObs, cfg.Spans)
 	if err != nil {
 		return nil, err
 	}

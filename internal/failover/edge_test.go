@@ -110,7 +110,7 @@ func TestReplanPrefillLossHasNoKVTerm(t *testing.T) {
 		t.Fatal(err)
 	}
 	lost := &rt.DeviceLostError{Stage: 0, Device: res.Plan.Order[0], AtSec: 1e-4, PrefillDone: false}
-	out, err := Replan(spec, res.Plan, assigner.ProfilerTimer{}, lost, nil, nil)
+	out, err := Replan(spec, res.Plan, assigner.ProfilerTimer{}, lost, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

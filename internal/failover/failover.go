@@ -25,6 +25,7 @@ package failover
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/assigner"
 	"repro/internal/chaos"
@@ -42,6 +43,11 @@ const (
 	metricMigrationBytes = "llmpq_failover_migration_bytes"
 	metricMigrationSecs  = "llmpq_failover_migration_seconds"
 	metricResumeRound    = "llmpq_failover_resume_round"
+	// metricReplanSeconds is the wall-clock latency of one replan solve —
+	// the recovery-path number the SolveCache exists to shrink. Unlike the
+	// families above it is wall-clock-dependent, so it lands on a control
+	// registry only (simctrl.manifest pins it ctrl by exact name).
+	metricReplanSeconds = "llmpq_failover_replan_seconds"
 )
 
 // Report summarizes one fault-tolerant serving run.
@@ -130,10 +136,13 @@ type Outcome struct {
 // Replan closes steps 2–3 of the failover loop for one device loss:
 // re-solve on the surviving devices, diff layer homes, and cost the
 // migration. It observes the llmpq_failover_* metric families and the
-// migrate span when reg/spans are non-nil. Infeasibility surfaces as a
-// *ReplanFailedError that keeps the DeviceLostError reachable.
-func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, reg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
-	return ReplanMulti(spec, plan, timer, lost, nil, reg, spans)
+// migrate span when reg/spans are non-nil; ctrlReg, when non-nil,
+// additionally receives the wall-clock llmpq_failover_replan_seconds
+// histogram (control registry — never byte-diffed). Infeasibility
+// surfaces as a *ReplanFailedError that keeps the DeviceLostError
+// reachable.
+func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, reg, ctrlReg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
+	return ReplanMulti(spec, plan, timer, lost, nil, reg, ctrlReg, spans)
 }
 
 // ReplanMulti is Replan for a loss event that takes several devices at
@@ -144,7 +153,8 @@ func Replan(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer,
 // failure. extraDevices lists the additional original-cluster device
 // IDs lost alongside lost.Device; duplicates (including a repeated
 // lost.Device) are tolerated.
-func ReplanMulti(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, extraDevices []int, reg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
+func ReplanMulti(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, lost *rt.DeviceLostError, extraDevices []int, reg, ctrlReg *obs.Registry, spans *obs.SpanRecorder) (*Outcome, error) {
+	replanStart := time.Now() //llmpq:allow(simwallclock): replan latency is reported on the control registry only; the degraded plan is independent of it
 	devs := append([]int{lost.Device}, extraDevices...)
 	reduced, oldID, err := removeDevices(spec.Cluster, devs)
 	if err != nil {
@@ -152,7 +162,14 @@ func ReplanMulti(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerT
 	}
 	degraded := *spec
 	degraded.Cluster = reduced
+	// Warm start: project the surviving assignment onto the reduced
+	// cluster and let Optimize prune combinations that provably cannot
+	// beat it. With Spec.Cache threaded through, the solve also reuses
+	// every timing row and benefit table the loss didn't invalidate.
+	// Both are byte-identity-preserving (DESIGN.md §13).
+	degraded.Incumbent = SurvivorIncumbent(plan, oldID, &degraded)
 	res, err := assigner.Optimize(&degraded, timer)
+	degraded.Incumbent = nil // consumed; keep the outcome's spec self-contained
 	if err != nil {
 		return nil, &ReplanFailedError{Lost: lost, Survivors: reduced.NumDevices(), Err: err}
 	}
@@ -198,7 +215,74 @@ func ReplanMulti(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerT
 		return nil, err
 	}
 	observeReplan(reg, spans, lost, out)
+	// Flush the cache's deterministic hit/miss counters alongside the
+	// replan they served (no-op when spec.Cache or reg is nil).
+	spec.Cache.Export(reg)
+	if ctrlReg != nil {
+		//llmpq:allow(simwallclock): wall-clock observation on the control registry only
+		ctrlReg.Histogram(metricReplanSeconds, obs.TimeBuckets()).Observe(time.Since(replanStart).Seconds())
+	}
 	return out, nil
+}
+
+// SurvivorIncumbent projects a plan onto the cluster that remains after
+// a device loss, producing the warm-start incumbent for the replan
+// solve: surviving stages keep their device (under the reduced cluster's
+// reindexing via oldID), their layer ranges, and their bitwidths; a lost
+// stage's range is merged into the nearest preceding surviving stage
+// (or the first survivor, for leading losses). The decode micro-batch is
+// recomputed for the reduced device count. The projection is best-effort
+// — Optimize independently validates and re-scores it, ignoring it when
+// unusable — and returns nil when no stage survives.
+func SurvivorIncumbent(plan *assigner.Plan, oldID []int, degraded *assigner.Spec) *assigner.Plan {
+	if plan == nil {
+		return nil
+	}
+	n := plan.NumStages()
+	inv := make([]int, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for newIdx, old := range oldID {
+		if old >= 0 && old < n {
+			inv[old] = newIdx
+		}
+	}
+	var order, counts []int
+	lead := 0
+	for j := 0; j < n; j++ {
+		k := plan.Boundaries[j+1] - plan.Boundaries[j]
+		nd := -1
+		if d := plan.Order[j]; d >= 0 && d < n {
+			nd = inv[d]
+		}
+		if nd < 0 {
+			if len(counts) > 0 {
+				counts[len(counts)-1] += k
+			} else {
+				lead += k
+			}
+			continue
+		}
+		order = append(order, nd)
+		counts = append(counts, k)
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	counts[0] += lead
+	inc := &assigner.Plan{
+		Order:      order,
+		Boundaries: make([]int, len(order)+1),
+		GroupBits:  append([]int(nil), plan.GroupBits...),
+		Group:      plan.Group,
+		PrefillMB:  plan.PrefillMB,
+		DecodeMB:   degraded.DecodeMicroBatch(),
+	}
+	for j, k := range counts {
+		inc.Boundaries[j+1] = inc.Boundaries[j] + k
+	}
+	return inc
 }
 
 // observeReplan exports the llmpq_failover_* metrics and the migration
@@ -236,6 +320,11 @@ type Controller struct {
 	// Spans, when non-nil, records engine task spans plus one migration
 	// span covering the replan-and-reship window.
 	Spans *obs.SpanRecorder
+	// CtrlObs, when non-nil, receives the wall-clock
+	// llmpq_failover_replan_seconds histogram. Kept separate from Obs:
+	// replan latency depends on the host, so it must never land in the
+	// byte-diffed sim registry.
+	CtrlObs *obs.Registry
 }
 
 // Run executes the pipeline under the chaos schedule, self-healing
@@ -258,7 +347,7 @@ func (c *Controller) Run(sched *chaos.Schedule) (Report, error) {
 // it from the watermark.
 func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
 	rep := Report{Replanned: true, Lost: lost}
-	out, err := Replan(c.Spec, c.Plan, c.Timer, lost, c.Obs, c.Spans)
+	out, err := Replan(c.Spec, c.Plan, c.Timer, lost, c.Obs, c.CtrlObs, c.Spans)
 	if err != nil {
 		return Report{}, err
 	}

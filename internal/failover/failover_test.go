@@ -221,7 +221,7 @@ func TestReplanMultiTwoDevices(t *testing.T) {
 	}
 	run := func() (*Outcome, *obs.Registry) {
 		reg := obs.NewRegistry()
-		out, err := ReplanMulti(spec, plan, nil, lost, []int{2}, reg, nil)
+		out, err := ReplanMulti(spec, plan, nil, lost, []int{2}, reg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +250,7 @@ func TestReplanMultiTwoDevices(t *testing.T) {
 		t.Errorf("lost-devices gauge %.0f, want 2", got)
 	}
 	// Single-device Replan keeps the one-element list in sync.
-	single, err := Replan(spec, plan, nil, lost, nil, nil)
+	single, err := Replan(spec, plan, nil, lost, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,6 +83,37 @@ grep -Eq 'llmpq_failover_replans_total [1-9]' "$obsdir/dist-kill.prom" || {
 kill_tokens=$(sed -n 's/^total *\([0-9]*\) tokens.*/\1/p' "$obsdir/dist-kill.txt")
 [ "$kill_tokens" = "$clean_tokens" ] || {
     echo "verify.sh: failover lost tokens (clean $clean_tokens, after kill ${kill_tokens:-none})" >&2; exit 1; }
+echo "== replan warm-start smoke (deterministic worker death; warm and cold replans must byte-match) =="
+# -fail-after pins the loss to an evaluation count, so the sim-time loss
+# point — and therefore the degraded plan and every sim metric — is a
+# pure function of the strategy. The only allowed warm/cold divergence is
+# the llmpq_solver_cache_* counter pair itself.
+for mode in warm cold; do
+    cacheflag=true
+    [ "$mode" = cold ] && cacheflag=false
+    mkdir -p "$obsdir/replan-$mode"
+    (cd "$obsdir/replan-$mode" && "$obsdir/llmpq-dist" -role coordinator \
+        -strat-file "$obsdir/dist-strat.json" -listen "$distaddr" -workers 2 \
+        -heartbeat 50ms -lease 400ms -solve-cache="$cacheflag" \
+        -replan-out replan.json -metrics-out metrics.prom > stdout.txt) &
+    coord=$!
+    "$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" > /dev/null &
+    "$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" -fail-after 20 > /dev/null &
+    wait "$coord"
+    wait || true   # the fail-after worker exits nonzero by design
+done
+for f in replan.json stdout.txt; do
+    diff "$obsdir/replan-warm/$f" "$obsdir/replan-cold/$f" || {
+        echo "verify.sh: warm-start replan diverged from the cold solve ($f differs)" >&2; exit 1; }
+done
+diff <(grep -v 'llmpq_solver_' "$obsdir/replan-warm/metrics.prom") \
+     <(grep -v 'llmpq_solver_' "$obsdir/replan-cold/metrics.prom") || {
+    echo "verify.sh: replan sim metrics differ beyond the solver-cache counters" >&2; exit 1; }
+grep -Eq 'llmpq_solver_cache_hits_total [1-9]' "$obsdir/replan-warm/metrics.prom" || {
+    echo "verify.sh: warm replan never hit the solve cache" >&2; exit 1; }
+if grep -q 'llmpq_solver_cache' "$obsdir/replan-cold/metrics.prom"; then
+    echo "verify.sh: -solve-cache=false still exported cache counters" >&2; exit 1
+fi
 echo "== distributed chaos smoke (seeded conn-drop must be reproducible byte-for-byte) =="
 for run in 1 2; do
     mkdir -p "$obsdir/dchaos$run"
