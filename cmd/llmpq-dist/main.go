@@ -19,6 +19,14 @@
 //	llmpq-dist -role coordinator -strat-file strategy.json -listen :9380 -workers 2
 //	llmpq-dist -role worker -name w0 -connect 127.0.0.1:9380
 //	llmpq-dist -role worker -name w1 -connect 127.0.0.1:9380
+//
+// With -journal-dir the coordinator additionally appends a durable
+// CRC-framed journal of every plan/membership/progress transition;
+// after a crash (SIGKILL included — see -coord-fail-after and the
+// coord-crash chaos profile), restarting with -recover on the same
+// address replays the journal, reattaches workers by rejoin token, and
+// resumes with artifacts byte-identical to an uninterrupted run
+// (DESIGN.md §14).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"os/signal"
@@ -52,16 +61,20 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run here")
 
 		// Coordinator role.
-		listen       = flag.String("listen", "127.0.0.1:9380", "coordinator bind address")
-		workers      = flag.Int("workers", 2, "worker count the coordinator waits for")
-		heartbeat    = flag.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval")
-		lease        = flag.Duration("lease", 2*time.Second, "silence after which a worker is declared lost")
-		deadline     = flag.Duration("deadline", 10*time.Second, "per-round remote evaluation deadline")
-		chaosProfile = flag.String("chaos-profile", "", "inject a seeded network fault profile (conn-drop | partition | net-delay)")
-		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos-profile")
-		chaosHorizon = flag.Float64("chaos-horizon", 5.0, "wall-clock horizon in seconds the profile places faults in")
-		solveCache   = flag.Bool("solve-cache", true, "memoize solver tables so a lease-expiry replan warm-starts; the degraded plan is byte-identical either way")
-		replanOut    = flag.String("replan-out", "", "write the post-replan degraded plan JSON here (empty when the run never replanned)")
+		listen         = flag.String("listen", "127.0.0.1:9380", "coordinator bind address")
+		workers        = flag.Int("workers", 2, "worker count the coordinator waits for")
+		heartbeat      = flag.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval")
+		lease          = flag.Duration("lease", 2*time.Second, "silence after which a worker is declared lost")
+		deadline       = flag.Duration("deadline", 10*time.Second, "per-round remote evaluation deadline")
+		chaosProfile   = flag.String("chaos-profile", "", "inject a seeded fault profile (conn-drop | partition | net-delay | coord-crash)")
+		chaosSeed      = flag.Int64("chaos-seed", 1, "seed for -chaos-profile")
+		chaosHorizon   = flag.Float64("chaos-horizon", 5.0, "wall-clock horizon in seconds the profile places faults in")
+		solveCache     = flag.Bool("solve-cache", true, "memoize solver tables so a lease-expiry replan warm-starts; the degraded plan is byte-identical either way")
+		replanOut      = flag.String("replan-out", "", "write the post-replan degraded plan JSON here (empty when the run never replanned)")
+		journalDir     = flag.String("journal-dir", "", "append a durable CRC-framed journal of plan/membership/progress transitions under this directory")
+		recoverRun     = flag.Bool("recover", false, "replay the journal in -journal-dir and resume the crashed run instead of starting fresh")
+		coordFailAfter = flag.Int("coord-fail-after", 0, "SIGKILL the coordinator process after this many completed stage evaluations (crash-recovery demos; 0 = never)")
+		ctrlMetricsOut = flag.String("ctrl-metrics-out", "", "write the wall-clock control-plane metrics dump here (journal/reattach/lease counters)")
 
 		// Worker role.
 		connect   = flag.String("connect", "127.0.0.1:9380", "coordinator address to join")
@@ -75,9 +88,15 @@ func main() {
 	case "single":
 		runSingle(*stratFile, *verbose, *gantt, *metricsOut, *traceOut)
 	case "coordinator":
-		runCoordinator(*stratFile, *listen, *workers, *heartbeat, *lease, *deadline,
-			*chaosProfile, *chaosSeed, *chaosHorizon, *verbose, *metricsOut, *traceOut,
-			*solveCache, *replanOut)
+		runCoordinator(coordOpts{
+			stratFile: *stratFile, listen: *listen, workers: *workers,
+			heartbeat: *heartbeat, lease: *lease, deadline: *deadline,
+			chaosProfile: *chaosProfile, chaosSeed: *chaosSeed, chaosHorizon: *chaosHorizon,
+			verbose: *verbose, metricsOut: *metricsOut, traceOut: *traceOut,
+			solveCache: *solveCache, replanOut: *replanOut,
+			journalDir: *journalDir, recover: *recoverRun,
+			coordFailAfter: *coordFailAfter, ctrlMetricsOut: *ctrlMetricsOut,
+		})
 	case "worker":
 		runWorker(*name, *connect, *hold, *failAfter, *verbose)
 	default:
@@ -154,39 +173,89 @@ func runSingle(stratFile string, verbose, gantt bool, metricsOut, traceOut strin
 	}
 }
 
-func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, deadline time.Duration,
-	chaosProfile string, chaosSeed int64, chaosHorizon float64, verbose bool, metricsOut, traceOut string,
-	solveCache bool, replanOut string) {
-	spec, plan := loadStrategy(stratFile)
-	if solveCache {
+// coordOpts carries the coordinator role's flag surface.
+type coordOpts struct {
+	stratFile, listen          string
+	workers                    int
+	heartbeat, lease, deadline time.Duration
+	chaosProfile               string
+	chaosSeed                  int64
+	chaosHorizon               float64
+	verbose                    bool
+	metricsOut, traceOut       string
+	solveCache                 bool
+	replanOut                  string
+	journalDir                 string
+	recover                    bool
+	coordFailAfter             int
+	ctrlMetricsOut             string
+}
+
+// strategyHash fingerprints the raw strategy file so a recovery cannot
+// silently resume under a different strategy.
+func strategyHash(path string) string {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		// loadStrategy already surfaced the real error on the fatal path.
+		return ""
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(buf) // hash.Hash writes never fail
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+func runCoordinator(o coordOpts) {
+	spec, plan := loadStrategy(o.stratFile)
+	if o.solveCache {
 		spec.Cache = assigner.NewSolveCache()
 	}
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
 	var reg *obs.Registry
 	var rec *obs.SpanRecorder
-	if metricsOut != "" {
+	if o.metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
-	if traceOut != "" {
+	if o.traceOut != "" {
 		rec = obs.NewSpanRecorder()
 	}
 	ctrl := obs.NewRegistry()
-	if chaosProfile != "" {
-		sched, err := chaos.New(chaosProfile, chaosSeed, workers, chaosHorizon)
+	failAfter := o.coordFailAfter
+	if o.chaosProfile != "" {
+		sched, err := chaos.New(o.chaosProfile, o.chaosSeed, o.workers, o.chaosHorizon)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if nf := sched.NetFaults(); len(nf) != len(sched.Faults) {
-			fatalf("profile %s contains non-network faults; the distributed runtime injects network faults only (conn-drop, partition, net-delay)", chaosProfile)
+		nf := sched.NetFaults()
+		crashAfter, hasCrash := sched.CoordCrashAfter()
+		extra := len(sched.Faults) - len(nf)
+		if hasCrash {
+			extra--
 		}
-		ln = dist.NewFaultListener(ln, sched, reg, ctrl)
-		fmt.Printf("chaos        profile %s seed %d (%d network faults)\n", chaosProfile, chaosSeed, len(sched.Faults))
+		if extra > 0 {
+			fatalf("profile %s contains faults the distributed runtime cannot inject (want conn-drop, partition, net-delay, coord-crash)", o.chaosProfile)
+		}
+		if len(nf) > 0 {
+			ln = dist.NewFaultListener(ln, sched, reg, ctrl)
+		}
+		if hasCrash && failAfter == 0 {
+			failAfter = crashAfter
+		}
+		fmt.Printf("chaos        profile %s seed %d (%d faults)\n", o.chaosProfile, o.chaosSeed, len(sched.Faults))
+	}
+	var die func()
+	if failAfter > 0 {
+		die = func() {
+			// Real abrupt death: no farewells, no flushes, no exit hooks —
+			// exactly what the -recover path must tolerate.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
 	}
 	logf := func(string, ...any) {}
-	if verbose {
+	if o.verbose {
 		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "llmpq-dist: "+format+"\n", args...)
 		}
@@ -194,8 +263,11 @@ func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, dea
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := dist.Serve(ctx, dist.Config{
-		Listener: ln, Workers: workers, Spec: spec, Plan: plan,
-		Heartbeat: heartbeat, Lease: lease, RoundDeadline: deadline,
+		Listener: ln, Workers: o.workers, Spec: spec, Plan: plan,
+		Heartbeat: o.heartbeat, Lease: o.lease, RoundDeadline: o.deadline,
+		JournalDir: o.journalDir, Recover: o.recover,
+		StrategyHash:   strategyHash(o.stratFile),
+		CoordFailAfter: failAfter, Die: die,
 		Obs: reg, CtrlObs: ctrl, Spans: rec, Logf: logf,
 	})
 	if err != nil {
@@ -212,7 +284,7 @@ func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, dea
 		fmt.Printf("replanned    %d stages on survivors, %d layers migrated (%.0f MB, %.4f s)\n",
 			res.DegradedPlan.NumStages(), res.MovedLayers, res.Migration.TotalBytes/1e6, res.Migration.TransferSec)
 		fmt.Printf("total        %d tokens in %.4f s\n", res.TotalTokens, res.TotalLatencySec)
-		if replanOut != "" {
+		if o.replanOut != "" {
 			// The degraded plan is a pure function of (strategy, lost
 			// worker), so this artifact byte-diffs across runs — warm or
 			// cold — under a deterministic loss point (-fail-after).
@@ -220,13 +292,22 @@ func runCoordinator(stratFile, listen string, workers int, heartbeat, lease, dea
 			if err != nil {
 				fatalf("encode degraded plan: %v", err)
 			}
-			if err := os.WriteFile(replanOut, append(buf, '\n'), 0o644); err != nil {
+			if err := os.WriteFile(o.replanOut, append(buf, '\n'), 0o644); err != nil {
 				fatalf("write degraded plan: %v", err)
 			}
-			fmt.Printf("replan plan  %s\n", replanOut)
+			fmt.Printf("replan plan  %s\n", o.replanOut)
 		}
 	}
-	writeArtifacts(reg, rec, metricsOut, traceOut)
+	writeArtifacts(reg, rec, o.metricsOut, o.traceOut)
+	if o.ctrlMetricsOut != "" {
+		if err := obs.WriteArtifact(o.ctrlMetricsOut, ctrl.WriteText); err != nil {
+			fatalf("write ctrl metrics: %v", err)
+		}
+		// Stderr, not stdout: stdout must stay byte-identical between a
+		// recovered run and one that never crashed, and the ctrl dump is
+		// wall-clock data by definition.
+		fmt.Fprintf(os.Stderr, "llmpq-dist: ctrl metrics %s\n", o.ctrlMetricsOut)
+	}
 }
 
 func runWorker(name, connect string, hold time.Duration, failAfter int, verbose bool) {

@@ -24,6 +24,11 @@ func TestManifestMetricRoles(t *testing.T) {
 		{"llmpq_dist_workers", RoleSim},
 		{"llmpq_dist_stage_calls_total", RoleSim},
 		{"llmpq_dist_injected_conn_drops_total", RoleSim},
+		// The coordinator journal and reattach families are wall-clock
+		// control-plane state.
+		{"llmpq_journal_appends_total", RoleCtrl},
+		{"llmpq_journal_replayed_records", RoleCtrl},
+		{"llmpq_dist_reattach_total", RoleCtrl},
 		{"unrelated_family", RoleUnknown},
 	}
 	for _, c := range cases {
@@ -42,6 +47,7 @@ func TestManifestPackageRoles(t *testing.T) {
 		{"repro/internal/assigner", RoleSim},
 		{"repro/internal/assigner/sub", RoleSim},
 		{"repro/internal/dist", RoleCtrl},
+		{"repro/internal/journal", RoleCtrl},
 		{"repro/internal/serve", RoleCtrl},
 		{"repro/cmd/llmpq-vet", RoleCtrl},
 		{"repro/internal/core/floats", RoleUnknown},

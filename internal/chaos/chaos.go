@@ -59,6 +59,13 @@ const (
 	// the fault that trips per-round deadline propagation. Consumed by
 	// internal/dist.
 	KindNetDelay
+	// KindCoordCrash kills the coordinator itself after AfterCalls
+	// completed remote stage evaluations — the control-plane death the
+	// journal/recovery path exists for. Counted in completed calls, not
+	// wall time, so the crash point is deterministic. Consumed by
+	// cmd/llmpq-dist (which arms Config.CoordFailAfter); ignored by the
+	// in-process engine and the fault-injecting listener.
+	KindCoordCrash
 )
 
 func (k Kind) String() string {
@@ -77,6 +84,8 @@ func (k Kind) String() string {
 		return "partition"
 	case KindNetDelay:
 		return "netdelay"
+	case KindCoordCrash:
+		return "coordcrash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -116,6 +125,9 @@ type Fault struct {
 	// AfterFrames is the frame count after which KindConnDrop severs its
 	// connection (>= 1, counted over frames read server-side).
 	AfterFrames int
+	// AfterCalls is the completed-stage-call count after which
+	// KindCoordCrash kills the coordinator (>= 1).
+	AfterCalls int
 	// DelaySec is the per-frame stall KindNetDelay injects.
 	DelaySec float64
 }
@@ -143,7 +155,7 @@ func (f Fault) activeAt(t float64) bool {
 // Validate checks one fault against a pipeline depth and an optional run
 // horizon (0 = unbounded).
 func (f Fault) Validate(stages int, horizonSec float64) error {
-	if f.Kind != KindKVAlloc && !f.Kind.Network() && (f.Stage < 0 || f.Stage >= stages) {
+	if f.Kind != KindKVAlloc && f.Kind != KindCoordCrash && !f.Kind.Network() && (f.Stage < 0 || f.Stage >= stages) {
 		return fmt.Errorf("chaos: %s fault stage %d out of [0,%d)", f.Kind, f.Stage, stages)
 	}
 	if f.AtSec < 0 {
@@ -209,6 +221,13 @@ func (f Fault) Validate(stages int, horizonSec float64) error {
 		}
 		if f.Permanent {
 			return fmt.Errorf("chaos: netdelay fault cannot be permanent")
+		}
+	case KindCoordCrash:
+		if f.AfterCalls < 1 {
+			return fmt.Errorf("chaos: coordcrash after %d calls, must be >= 1", f.AfterCalls)
+		}
+		if f.Permanent {
+			return fmt.Errorf("chaos: coordcrash fault cannot be permanent")
 		}
 	default:
 		return fmt.Errorf("chaos: unknown fault kind %v", f.Kind)
@@ -328,6 +347,20 @@ func (s *Schedule) NetFaults() []Fault {
 		}
 	}
 	return out
+}
+
+// CoordCrashAfter returns the call count of the schedule's coordinator
+// crash, if one is scheduled (the first wins).
+func (s *Schedule) CoordCrashAfter() (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, f := range s.Faults {
+		if f.Kind == KindCoordCrash {
+			return f.AfterCalls, true
+		}
+	}
+	return 0, false
 }
 
 // HasKVFaults reports whether any KV-allocation fault is scheduled.

@@ -17,6 +17,7 @@ const (
 	ProfileConnDrop   = "conn-drop"   // control-plane connection drops (dist)
 	ProfilePartition  = "partition"   // control-plane partition window (dist)
 	ProfileNetDelay   = "net-delay"   // control-plane frame delays (dist)
+	ProfileCoordCrash = "coord-crash" // coordinator self-kill mid-run (dist)
 )
 
 // Profiles lists the known profile names, sorted.
@@ -25,6 +26,7 @@ func Profiles() []string {
 		ProfileCrash, ProfilePermLoss, ProfileStragglers,
 		ProfileSlowLink, ProfileKVPressure, ProfileMixed,
 		ProfileConnDrop, ProfilePartition, ProfileNetDelay,
+		ProfileCoordCrash,
 	}
 	sort.Strings(names)
 	return names
@@ -101,6 +103,12 @@ func New(name string, seed int64, stages int, horizonSec float64) (*Schedule, er
 		s.Faults = []Fault{{
 			Kind: KindNetDelay, Conn: -1, AtSec: at(),
 			DelaySec: 0.01 + 0.04*rng.Float64(), DurationSec: window(),
+		}}
+	case ProfileCoordCrash:
+		// Call-count triggered, like conn-drop's frame trigger: the crash
+		// lands at the same evaluation on every run with this seed.
+		s.Faults = []Fault{{
+			Kind: KindCoordCrash, AfterCalls: 8 + rng.Intn(24),
 		}}
 	default:
 		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, Profiles())

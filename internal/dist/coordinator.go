@@ -1,10 +1,14 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +17,7 @@ import (
 	"repro/internal/assigner"
 	"repro/internal/costmodel"
 	"repro/internal/failover"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
 )
@@ -47,6 +52,36 @@ type Config struct {
 	DeadlineRetries int
 	// JoinTimeout bounds the initial membership barrier. Default 30s.
 	JoinTimeout time.Duration
+
+	// JournalDir, when non-empty, makes the coordinator durable: every
+	// determinism-relevant state transition — plan adoption, token
+	// mints, watermark commits, failover replans, completion — is
+	// appended (CRC-framed, fsync'd per record) to
+	// JournalDir/coordinator.journal, so a crashed coordinator can be
+	// restarted with Recover.
+	JournalDir string
+	// Recover replays the journal in JournalDir instead of starting
+	// fresh: membership (names + rejoin tokens), the adopted plan
+	// epochs, and the progress watermark are reconstructed, journaled
+	// workers reattach under their existing tokens, and the run resumes.
+	// A torn final record (the crash landed mid-append) is truncated
+	// with a warning; a corrupt record fails recovery with a
+	// *journal.CorruptJournalError.
+	Recover bool
+	// StrategyHash, when non-empty, fingerprints the strategy the plan
+	// came from; it is stamped into plan records and cross-checked on
+	// recovery so a journal cannot silently resume a different strategy.
+	StrategyHash string
+	// CoordFailAfter, when positive, crashes the coordinator after that
+	// many completed remote stage evaluations — the deterministic chaos
+	// seam for recovery tests and -coord-fail-after. The crash goes
+	// through Die.
+	CoordFailAfter int
+	// Die performs the injected crash. Nil (tests) severs every worker
+	// connection without a farewell and makes Serve return
+	// ErrInjectedCoordCrash — from the workers' side indistinguishable
+	// from a SIGKILL. cmd/llmpq-dist installs a real self-SIGKILL.
+	Die func()
 
 	// Obs is the deterministic (simulated-time) registry: engine and
 	// failover families plus the dist counters whose values are pure
@@ -127,6 +162,10 @@ var errAwaitTimeout = errors.New("dist: request timed out")
 // response arrived; the caller resends after the reattach.
 var errConnClosed = errors.New("dist: connection closed mid-request")
 
+// ErrInjectedCoordCrash is returned by Serve when Config.CoordFailAfter
+// fires with a nil Die hook: the in-process stand-in for a SIGKILL.
+var ErrInjectedCoordCrash = errors.New("dist: injected coordinator crash")
+
 // memberState tracks one worker through the lease state machine:
 // joining (hello seen) → active (conn up) ⇄ detached (conn down, lease
 // running) → lost (lease expired; terminal).
@@ -134,10 +173,16 @@ type member struct {
 	name  string
 	token string
 
-	mu         sync.Mutex
-	conn       *wire
-	lastHeard  time.Time
-	lost       bool
+	mu        sync.Mutex
+	conn      *wire
+	lastHeard time.Time
+	lost      bool
+	// proven is set once a hello echoed the member's token: the worker
+	// demonstrably received its welcome. Until then a token-less retry
+	// of the same name is treated as the same worker whose welcome was
+	// lost in flight (the token is rotated and re-issued); after, the
+	// token is the only key that opens the name.
+	proven     bool
 	reattached chan struct{} // replaced on detach, closed on attach
 	lostCh     chan struct{} // closed once on lease expiry
 }
@@ -146,6 +191,19 @@ func (m *member) touch() {
 	m.mu.Lock()
 	m.lastHeard = time.Now()
 	m.mu.Unlock()
+}
+
+func (m *member) setProven() {
+	m.mu.Lock()
+	m.proven = true
+	m.mu.Unlock()
+}
+
+// currentToken reads the token under the lock — rotation mutates it.
+func (m *member) currentToken() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.token
 }
 
 func (m *member) attach(w *wire) {
@@ -235,6 +293,20 @@ type coordinator struct {
 	pending map[uint64]chan *Message
 	idSeq   atomic.Uint64
 
+	// Durable state (nil jnl = journaling off; nil recovered = fresh).
+	jnl       *coordJournal
+	recovered *RecoveredState
+	// epoch/startRound/baseDurable describe the current plan: epoch 0 is
+	// the configured strategy, each replan increments; startRound is the
+	// watermark the epoch runs from and baseDurable the tokens credited
+	// before it.
+	epoch       int
+	startRound  int
+	baseDurable int
+
+	// calls counts completed remote evaluations (CoordFailAfter seam).
+	calls atomic.Int64
+
 	// Deterministic counters (sim registry).
 	stageCalls *obs.Counter
 }
@@ -242,7 +314,9 @@ type coordinator struct {
 // Serve runs one offline workload on the distributed control plane:
 // wait for the membership, drive the deterministic engine with remote
 // stage-time evaluation, and — on a permanent worker loss — replan on
-// the survivors and resume from the token watermark.
+// the survivors and resume from the token watermark. With
+// Config.JournalDir the run is durable; with Config.Recover it resumes
+// a crashed predecessor from its journal.
 func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Listener == nil {
 		return nil, fmt.Errorf("dist: coordinator needs a listener")
@@ -257,6 +331,9 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Plan.Validate(cfg.Spec); err != nil {
 		return nil, err
 	}
+	if cfg.Recover && cfg.JournalDir == "" {
+		return nil, fmt.Errorf("dist: recovery needs a journal directory")
+	}
 	cfg = cfg.withDefaults()
 
 	co := &coordinator{
@@ -269,36 +346,64 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Obs != nil {
 		co.stageCalls = cfg.Obs.Counter("llmpq_dist_stage_calls_total")
 	}
+	if cfg.JournalDir != "" {
+		if err := co.openJournal(); err != nil {
+			return nil, err
+		}
+		defer co.jnl.close()
+	}
 	co.ctx, co.cancel = context.WithCancel(ctx)
 	defer co.cancel()
 	go co.acceptLoop()
 	go co.sweeper()
 
-	joinTimer := time.NewTimer(cfg.JoinTimeout)
-	defer joinTimer.Stop()
-	select {
-	case <-co.joined:
-	case <-joinTimer.C:
-		return nil, fmt.Errorf("dist: only %d of %d workers joined within %s",
-			co.memberCount(), cfg.Workers, cfg.JoinTimeout)
-	case <-co.ctx.Done():
-		return nil, co.ctx.Err()
+	if err := co.awaitMembership(); err != nil {
+		return nil, err
 	}
 	live := co.liveMembers()
-	co.assignStages(cfg.Plan, live)
+	if len(live) == 0 {
+		return nil, fmt.Errorf("dist: no live workers after the membership barrier")
+	}
+	co.mu.Lock()
+	curPlan := co.payload.Plan
+	co.mu.Unlock()
+	co.assignStages(curPlan, live)
 	co.setWorkersGauge(len(live))
-	cfg.Logf("membership complete: %d workers, %d stages", len(live), cfg.Plan.NumStages())
+	cfg.Logf("membership complete: %d workers, %d stages", len(live), curPlan.NumStages())
 
+	if co.recovered != nil && co.epoch > 0 {
+		// The crash happened after a failover replan. The loss instant
+		// was wall-clock dependent (a lease expiry) and cannot be
+		// re-derived, so the journaled replan record is load-bearing:
+		// resume the degraded plan from the journaled watermark.
+		return co.resumeReplanned(live)
+	}
+
+	// Fresh run, or recovery of a crash that predates any replan. The
+	// recovered case deliberately re-executes the whole deterministic
+	// engine rather than resuming mid-stream: simulated time is virtual,
+	// so re-execution costs only wall clock proportional to the event
+	// count, and it is the only way the final artifacts (sim metrics,
+	// trace, stdout summary) come out byte-identical to a run that never
+	// crashed — a mid-epoch resume would be correct but different.
 	eng, err := rt.NewEngine(cfg.Spec, cfg.Plan, cfg.Timer)
 	if err != nil {
 		return nil, err
 	}
 	eng.StageTimer = co.stageTime
+	eng.OnRoundCommit = co.onRoundCommit
 	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
 	stats, err := eng.Run()
 	if err == nil {
+		if jerr := co.finishJournal(); jerr != nil {
+			co.shutdown("failed")
+			return nil, jerr
+		}
 		co.shutdown("done")
 		return &Result{First: stats, TotalTokens: stats.TokensOut, TotalLatencySec: stats.LatencySec}, nil
+	}
+	if errors.Is(err, ErrInjectedCoordCrash) {
+		return nil, err
 	}
 	var lost *rt.DeviceLostError
 	if !errors.As(err, &lost) {
@@ -307,11 +412,286 @@ func Serve(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res, ferr := co.failover(lost)
 	if ferr != nil {
+		if errors.Is(ferr, ErrInjectedCoordCrash) {
+			return nil, ferr
+		}
 		co.shutdown("failover failed")
 		return nil, ferr
 	}
 	co.shutdown("done")
 	return res, nil
+}
+
+// openJournal creates a fresh journal (adopting epoch 0) or, under
+// Recover, replays and continues the existing one.
+func (co *coordinator) openJournal() error {
+	path := filepath.Join(co.cfg.JournalDir, JournalFile)
+	if !co.cfg.Recover {
+		if err := os.MkdirAll(co.cfg.JournalDir, 0o755); err != nil {
+			return fmt.Errorf("dist: journal dir: %w", err)
+		}
+		w, err := journal.Create(path)
+		if err != nil {
+			return err
+		}
+		co.jnl = newCoordJournal(w, co.cfg.CtrlObs)
+		co.jnl.append(&Record{Type: RecPlan, Plan: co.planRecord(0, "initial", co.payload, 0, 0)})
+		return co.jnl.Err()
+	}
+	w, rep, err := journal.Continue(path)
+	if err != nil {
+		return fmt.Errorf("dist: recover: %w", err)
+	}
+	st, err := DecodeState(rep.Records)
+	if err != nil {
+		_ = w.Close() //llmpq:allow(errdrop): recovery is failing anyway; the decode error is the one to report
+		return fmt.Errorf("dist: recover: %w", err)
+	}
+	co.ctrlAdd("llmpq_journal_replayed_records", float64(st.Records))
+	if rep.TornBytes > 0 {
+		co.ctrlInc("llmpq_journal_torn_tail_total")
+		co.cfg.Logf("journal: truncated a %d-byte torn tail (the crash landed mid-append)", rep.TornBytes)
+	}
+	if err := co.seedRecovered(st); err != nil {
+		_ = w.Close() //llmpq:allow(errdrop): recovery is failing anyway; the seed error is the one to report
+		return err
+	}
+	co.jnl = newCoordJournal(w, co.cfg.CtrlObs)
+	co.jnl.seq = st.Records
+	co.jnl.append(&Record{Type: RecRecover, Recover: &RecoverRecord{Replayed: st.Records, TornBytes: rep.TornBytes}})
+	co.cfg.Logf("recovered journal: %d records, epoch %d, %d members, watermark round %d",
+		st.Records, co.epoch, len(st.Members), co.startRound)
+	return co.jnl.Err()
+}
+
+// planRecord builds a PlanRecord with the solve-cache provenance of the
+// moment.
+func (co *coordinator) planRecord(epoch int, reason string, payload *PlanPayload, startRound, durable int) *PlanRecord {
+	pr := &PlanRecord{
+		Epoch: epoch, Reason: reason, Payload: payload,
+		StartRound: startRound, DurableTokens: durable,
+		StrategyHash: co.cfg.StrategyHash,
+	}
+	if c := co.cfg.Spec.Cache; c != nil {
+		stats := c.Stats()
+		pr.SolveCache = true
+		pr.CacheHits, pr.CacheMisses = stats.Hits, stats.Misses
+	}
+	return pr
+}
+
+// seedRecovered loads a replayed journal into coordinator state:
+// membership (with workers named in replan records pre-marked lost), the
+// current plan epoch, and the watermark.
+func (co *coordinator) seedRecovered(st *RecoveredState) error {
+	if st.Done {
+		return fmt.Errorf("dist: recover: the journal records a completed run; nothing to resume")
+	}
+	first := st.Plans[0]
+	if co.cfg.StrategyHash != "" && first.StrategyHash != "" && first.StrategyHash != co.cfg.StrategyHash {
+		return fmt.Errorf("dist: recover: journal strategy %s does not match configured strategy %s",
+			first.StrategyHash, co.cfg.StrategyHash)
+	}
+	// The journaled epoch-0 payload must be byte-identical to the one
+	// this configuration derives: recovery resumes a run, it never
+	// adopts a foreign plan.
+	want, err := json.Marshal(co.payload)
+	if err != nil {
+		return err
+	}
+	got, err := json.Marshal(first.Payload)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("dist: recover: the journaled plan does not match the configured strategy")
+	}
+	if len(st.Members) > co.cfg.Workers {
+		return fmt.Errorf("dist: recover: journal holds %d members, config allows %d", len(st.Members), co.cfg.Workers)
+	}
+	lost := make(map[string]bool, len(st.Replans))
+	for _, rr := range st.Replans {
+		lost[rr.LostWorker] = true
+	}
+	for _, mr := range st.Members {
+		m := &member{name: mr.Name, token: mr.Token, proven: true, lostCh: make(chan struct{})}
+		m.lastHeard = time.Now()
+		if lost[mr.Name] {
+			m.lost = true
+			close(m.lostCh)
+		}
+		co.members[mr.Name] = m
+		if mr.Ord > co.tokens {
+			co.tokens = mr.Ord
+		}
+	}
+	cur := st.Plans[len(st.Plans)-1]
+	co.epoch = cur.Epoch
+	co.startRound = cur.StartRound
+	co.baseDurable = cur.DurableTokens
+	co.payload = cur.Payload
+	co.recovered = st
+	return nil
+}
+
+// awaitMembership runs the join barrier. On a fresh start it demands the
+// full membership attached at once; on recovery, journaled members that
+// never reattach within the window are declared lost (the lease verdict,
+// delivered at the barrier) and the run proceeds on the ones that came
+// back — the failover path heals the difference.
+func (co *coordinator) awaitMembership() error {
+	joinTimer := time.NewTimer(co.cfg.JoinTimeout)
+	defer joinTimer.Stop()
+	select {
+	case <-co.joined:
+		return nil
+	case <-joinTimer.C:
+		if co.recovered != nil && co.attachedCount() >= 1 {
+			for _, m := range co.absentMembers() {
+				if m.markLost() {
+					co.ctrlInc("llmpq_dist_lease_expiries_total")
+					co.cfg.Logf("worker %s did not reattach within %s; declared lost", m.name, co.cfg.JoinTimeout)
+				}
+			}
+			// Open the barrier so the sweeper starts enforcing leases.
+			co.joinOnce.Do(func() { close(co.joined) })
+			return nil
+		}
+		return fmt.Errorf("dist: only %d of %d workers joined within %s",
+			co.memberCount(), co.cfg.Workers, co.cfg.JoinTimeout)
+	case <-co.ctx.Done():
+		return co.ctx.Err()
+	}
+}
+
+// resumeReplanned finishes a recovered run whose crash postdates a
+// failover replan: re-adopt the journaled degraded plan and resume from
+// the latest durable watermark. Token conservation is exact —
+// durable-at-resume plus the resumed output equals a clean run's total —
+// but no byte-identity is promised here (the loss instant was wall-clock
+// data the clean run never saw), matching the uninterrupted failover
+// path's contract.
+func (co *coordinator) resumeReplanned(live []*member) (*Result, error) {
+	cfg := co.cfg
+	st := co.recovered
+	rr := st.Replans[len(st.Replans)-1]
+	plan := co.payload.Plan
+
+	start, base := co.startRound, co.baseDurable
+	if lr := st.LastRound; lr != nil && lr.Epoch == co.epoch && lr.Watermark > start {
+		// The degraded run had already committed rounds before the
+		// crash; resume past them rather than re-earning their tokens.
+		start, base = lr.Watermark, lr.DurableTokens
+	}
+	if g := cfg.Spec.Work.Generate; start >= g {
+		// Every round was durable but the Done record never landed:
+		// re-run the final round (cheap, idempotent) so the engine has
+		// work to do and the stats stay well-formed.
+		start = g - 1
+		base = cfg.Spec.Work.GlobalBatch * start
+	}
+
+	degraded := *cfg.Spec
+	degraded.Cluster = co.payload.Cluster
+	eng, err := rt.NewEngine(&degraded, plan, cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	eng.StartRound = start
+	eng.StageTimer = co.stageTime
+	eng.OnRoundCommit = co.onRoundCommit
+	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+
+	lost := &rt.DeviceLostError{
+		Stage: rr.LostStage, Device: rr.LostDevice, AtSec: rr.AtSec,
+		Watermark: rr.Watermark, DurableTokens: rr.DurableTokens, PrefillDone: rr.PrefillDone,
+	}
+	// Re-export the failover families from the journal so the recovered
+	// run's sim registry still reports the replan it resumed from.
+	failover.ObserveReplayed(cfg.Obs, cfg.Spans, lost, rr.LostDevices, rr.MovedLayers, rr.Migration, rr.StartRound)
+	cfg.Logf("resuming replanned epoch %d from round %d on %d survivors", co.epoch, start, len(live))
+
+	resumed, err := eng.Run()
+	if err != nil {
+		if errors.Is(err, ErrInjectedCoordCrash) {
+			return nil, err
+		}
+		co.shutdown("failed")
+		return nil, fmt.Errorf("dist: recovered resume failed: %w", err)
+	}
+	if jerr := co.finishJournal(); jerr != nil {
+		co.shutdown("failed")
+		return nil, jerr
+	}
+	co.shutdown("done")
+	res := &Result{
+		Replanned:       true,
+		Lost:            lost,
+		LostWorker:      rr.LostWorker,
+		LostDevices:     rr.LostDevices,
+		DegradedPlan:    plan,
+		MovedLayers:     rr.MovedLayers,
+		Migration:       rr.Migration,
+		Resumed:         resumed,
+		TotalTokens:     base + resumed.TokensOut,
+		TotalLatencySec: rr.AtSec + rr.Migration.TransferSec + resumed.LatencySec,
+	}
+	if len(rr.LostDevices) > 0 {
+		res.LostDevice = rr.LostDevices[0]
+	}
+	return res, nil
+}
+
+// onRoundCommit is the Engine.OnRoundCommit callback: journal every
+// watermark advance so recovery can restore progress exactly.
+func (co *coordinator) onRoundCommit(watermark, durable, runTokens int) {
+	if co.jnl == nil {
+		return
+	}
+	co.jnl.append(&Record{Type: RecRound, Round: &RoundRecord{
+		Epoch: co.epoch, Watermark: watermark, DurableTokens: durable,
+		PrefillDone: true, RunTokens: runTokens,
+	}})
+}
+
+// finishJournal seals a completed run and surfaces any append error the
+// run accumulated — a silently lossy journal must fail the run.
+func (co *coordinator) finishJournal() error {
+	if co.jnl == nil {
+		return nil
+	}
+	co.jnl.append(&Record{Type: RecDone})
+	return co.jnl.Err()
+}
+
+// crash simulates sudden coordinator death for CoordFailAfter: sever
+// every worker connection without a farewell, leave the journal exactly
+// as a SIGKILL would (no Done record), and stop the control loops. With
+// a Die hook the process never returns from it.
+func (co *coordinator) crash() {
+	co.cfg.Logf("injected coordinator crash after %d stage calls", co.cfg.CoordFailAfter)
+	if co.cfg.Die != nil {
+		co.cfg.Die()
+	}
+	co.mu.Lock()
+	members := make([]*member, 0, len(co.members))
+	for _, m := range co.members {
+		members = append(members, m)
+	}
+	co.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		w := m.conn
+		m.conn = nil
+		m.mu.Unlock()
+		if w != nil {
+			w.close()
+		}
+	}
+	if co.jnl != nil {
+		co.jnl.close()
+	}
+	co.cancel()
 }
 
 // failover heals a permanent worker loss: replan on the reduced
@@ -352,6 +732,24 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	co.mu.Lock()
 	co.payload = payload
 	co.mu.Unlock()
+	// Make the replan durable before any survivor acts on it: the loss
+	// instant is wall-clock data a recovered coordinator cannot
+	// re-derive, so the replan record plus the degraded plan epoch are
+	// the journal's only load-bearing entries.
+	co.epoch++
+	co.startRound, co.baseDurable = out.StartRound, out.DurableTokens
+	if co.jnl != nil {
+		co.jnl.append(&Record{Type: RecReplan, Replan: &ReplanRecord{
+			LostWorker: deadName, LostStage: lost.Stage, LostDevice: lost.Device,
+			AtSec: lost.AtSec, Watermark: lost.Watermark, DurableTokens: lost.DurableTokens,
+			PrefillDone: lost.PrefillDone, LostDevices: out.LostDevices,
+			MovedLayers: out.MovedLayers, Migration: out.Migration, StartRound: out.StartRound,
+		}})
+		co.jnl.append(&Record{Type: RecPlan, Plan: co.planRecord(co.epoch, "replan", payload, out.StartRound, out.DurableTokens)})
+		if jerr := co.jnl.Err(); jerr != nil {
+			return nil, jerr
+		}
+	}
 	for _, m := range survivors {
 		if err := co.reconfigure(m, payload); err != nil {
 			return nil, fmt.Errorf("dist: reconfigure %s: %w", m.name, err)
@@ -368,10 +766,17 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	}
 	eng.StartRound = out.StartRound
 	eng.StageTimer = co.stageTime
+	eng.OnRoundCommit = co.onRoundCommit
 	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
 	resumed, err := eng.Run()
 	if err != nil {
+		if errors.Is(err, ErrInjectedCoordCrash) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("dist: resumed run failed: %w", err)
+	}
+	if jerr := co.finishJournal(); jerr != nil {
+		return nil, jerr
 	}
 	return &Result{
 		Replanned:       true,
@@ -458,6 +863,13 @@ func (co *coordinator) stageTime(stage, batch, round int, prefill bool) (float64
 		}
 		if co.stageCalls != nil {
 			co.stageCalls.Inc()
+		}
+		// Injected-crash seam: dying on the Nth completed evaluation is
+		// deterministic (the engine issues stage calls in virtual-time
+		// order), so recovery tests can crash at a reproducible point.
+		if n := co.cfg.CoordFailAfter; n > 0 && co.calls.Add(1) == int64(n) {
+			co.crash()
+			return 0, ErrInjectedCoordCrash
 		}
 		return res.Seconds, nil
 	}
@@ -579,18 +991,20 @@ func (co *coordinator) handleConn(c net.Conn) {
 		w.close()
 		return
 	}
-	m, reject := co.admit(h)
+	m, rec, reject, retryable := co.admit(h)
 	if reject != "" {
-		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{Reason: reject}}) //llmpq:allow(errdrop): best-effort courtesy reject; the connection closes either way
+		//llmpq:allow(errdrop): best-effort courtesy reject; the connection closes either way
+		_ = w.send(&Message{Type: MsgReject, Reject: &Reject{Reason: reject, Retryable: retryable}})
 		w.close()
 		return
 	}
 	m.attach(w)
 	co.mu.Lock()
 	payload := co.payload
+	token := m.currentToken()
 	co.mu.Unlock()
 	welcome := &Welcome{
-		Token:        m.token,
+		Token:        token,
 		HeartbeatSec: co.cfg.Heartbeat.Seconds(),
 		LeaseSec:     co.cfg.Lease.Seconds(),
 		Plan:         payload,
@@ -599,6 +1013,15 @@ func (co *coordinator) handleConn(c net.Conn) {
 		m.detachIf(w)
 		return
 	}
+	// Journal the mint only after the welcome went out: recovery must
+	// never hold a worker to a token it was never offered.
+	if rec != nil && co.jnl != nil {
+		co.jnl.append(&Record{Type: RecMember, Member: rec})
+	}
+	if h.Token != "" {
+		co.ctrlInc("llmpq_dist_reattach_total")
+	}
+	co.maybeJoined()
 	co.cfg.Logf("worker %s attached", m.name)
 
 	for {
@@ -608,7 +1031,10 @@ func (co *coordinator) handleConn(c net.Conn) {
 			co.cfg.Logf("worker %s detached: %v", m.name, err)
 			return
 		}
+		// Any post-welcome frame proves the worker proceeded past the
+		// handshake — from here the token is the only key to the name.
 		m.touch()
+		m.setProven()
 		switch msg.Type {
 		case MsgHeartbeat:
 			co.ctrlInc("llmpq_dist_heartbeats_received_total")
@@ -624,27 +1050,54 @@ func (co *coordinator) handleConn(c net.Conn) {
 	}
 }
 
-// admit resolves a hello into a member or a rejection reason.
-func (co *coordinator) admit(h *Hello) (*member, string) {
+// admit resolves a hello into a member plus, when a token was minted or
+// rotated, the MemberRecord to journal once the welcome is delivered; or
+// into a rejection (retryable for transient mid-handshake collisions).
+func (co *coordinator) admit(h *Hello) (*member, *MemberRecord, string, bool) {
 	if h.Name == "" {
-		return nil, "worker name must not be empty"
+		return nil, nil, "worker name must not be empty", false
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if m, ok := co.members[h.Name]; ok {
-		if m.token != h.Token {
-			return nil, fmt.Sprintf("worker name %q is taken", h.Name)
-		}
 		m.mu.Lock()
-		lost := m.lost
+		lost, proven, attached := m.lost, m.proven, m.conn != nil
+		tokenOK := h.Token != "" && m.token == h.Token
+		if tokenOK {
+			m.proven = true
+		}
 		m.mu.Unlock()
 		if lost {
-			return nil, fmt.Sprintf("worker %q lease expired; membership is closed", h.Name)
+			return nil, nil, fmt.Sprintf("worker %q lease expired; membership is closed", h.Name), false
 		}
-		return m, ""
+		if tokenOK {
+			return m, nil, "", false
+		}
+		if h.Token == "" && !proven && !attached {
+			// The worker never demonstrably received its welcome and is
+			// retrying from scratch: same worker, mint lost in flight.
+			// Rotate the token so the journal's latest mint is the live
+			// one and the stale mint can never open the name.
+			co.tokens++
+			m.mu.Lock()
+			m.token = fmt.Sprintf("lease-%d-%s", co.tokens, h.Name)
+			tok := m.token
+			m.mu.Unlock()
+			return m, &MemberRecord{Name: h.Name, Token: tok, Ord: co.tokens}, "", false
+		}
+		if h.Token == "" && !proven && attached {
+			// Another handshake for this name is in flight on a live
+			// connection; retry once it either proves itself (heartbeat)
+			// or dies (rotation path above).
+			return nil, nil, fmt.Sprintf("worker name %q is mid-handshake", h.Name), true
+		}
+		return nil, nil, fmt.Sprintf("worker name %q is taken", h.Name), false
+	}
+	if h.Token != "" {
+		return nil, nil, "unknown rejoin token", false
 	}
 	if len(co.members) >= co.cfg.Workers {
-		return nil, fmt.Sprintf("cluster is full (%d workers)", co.cfg.Workers)
+		return nil, nil, fmt.Sprintf("cluster is full (%d workers)", co.cfg.Workers), false
 	}
 	co.tokens++
 	m := &member{
@@ -654,10 +1107,71 @@ func (co *coordinator) admit(h *Hello) (*member, string) {
 	}
 	m.lastHeard = time.Now()
 	co.members[h.Name] = m
-	if len(co.members) == co.cfg.Workers {
-		co.joinOnce.Do(func() { close(co.joined) })
+	return m, &MemberRecord{Name: h.Name, Token: m.token, Ord: co.tokens}, "", false
+}
+
+// maybeJoined closes the join barrier once the membership is complete
+// and every not-lost member holds a live connection. Recovery seeds the
+// membership from the journal, so completeness there means "everyone the
+// journal knows", not the configured worker count.
+func (co *coordinator) maybeJoined() {
+	co.mu.Lock()
+	if co.recovered == nil && len(co.members) < co.cfg.Workers {
+		co.mu.Unlock()
+		return
 	}
-	return m, ""
+	members := make([]*member, 0, len(co.members))
+	for _, m := range co.members {
+		members = append(members, m)
+	}
+	co.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		ready := m.lost || m.conn != nil
+		m.mu.Unlock()
+		if !ready {
+			return
+		}
+	}
+	co.joinOnce.Do(func() { close(co.joined) })
+}
+
+// attachedCount counts not-lost members with a live connection.
+func (co *coordinator) attachedCount() int {
+	co.mu.Lock()
+	members := make([]*member, 0, len(co.members))
+	for _, m := range co.members {
+		members = append(members, m)
+	}
+	co.mu.Unlock()
+	n := 0
+	for _, m := range members {
+		m.mu.Lock()
+		if !m.lost && m.conn != nil {
+			n++
+		}
+		m.mu.Unlock()
+	}
+	return n
+}
+
+// absentMembers returns not-lost members with no live connection.
+func (co *coordinator) absentMembers() []*member {
+	co.mu.Lock()
+	members := make([]*member, 0, len(co.members))
+	for _, m := range co.members {
+		members = append(members, m)
+	}
+	co.mu.Unlock()
+	var out []*member
+	for _, m := range members {
+		m.mu.Lock()
+		if !m.lost && m.conn == nil {
+			out = append(out, m)
+		}
+		m.mu.Unlock()
+	}
+	return out
 }
 
 // sweeper expires leases: any member silent past the lease is declared
@@ -671,6 +1185,13 @@ func (co *coordinator) sweeper() {
 		case <-co.ctx.Done():
 			return
 		case <-tick.C:
+		}
+		// Leases start at the join barrier: a recovered membership must
+		// get its full reattach window before the sweeper may expire it.
+		select {
+		case <-co.joined:
+		default:
+			continue
 		}
 		now := time.Now()
 		co.mu.Lock()
@@ -749,5 +1270,11 @@ func (co *coordinator) setWorkersGauge(n int) {
 func (co *coordinator) ctrlInc(name string) {
 	if co.cfg.CtrlObs != nil {
 		co.cfg.CtrlObs.Counter(name).Inc()
+	}
+}
+
+func (co *coordinator) ctrlAdd(name string, v float64) {
+	if co.cfg.CtrlObs != nil {
+		co.cfg.CtrlObs.Counter(name).Add(v)
 	}
 }

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// TestDecodeStateViolations pins the semantic validator's taxonomy: each
+// structural violation is a typed corruption naming the record index,
+// never a panic or a silently skipped record.
+func TestDecodeStateViolations(t *testing.T) {
+	s := distSpec(t)
+	p := distPlan(t, s)
+	payload := NewPlanPayload(s, p)
+	enc := func(recs ...*Record) [][]byte {
+		out := make([][]byte, len(recs))
+		for i, r := range recs {
+			buf, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf
+		}
+		return out
+	}
+	plan0 := func() *Record {
+		return &Record{Type: RecPlan, Seq: 1, Plan: &PlanRecord{Epoch: 0, Reason: "initial", Payload: payload}}
+	}
+	cases := []struct {
+		name string
+		want string
+		recs [][]byte
+	}{
+		{"bad json", "bad JSON", [][]byte{[]byte("{")}},
+		{"seq break", "seq 2, want 1", enc(&Record{Type: RecDone, Seq: 2})},
+		{"first not plan", "must open with a plan", enc(&Record{Type: RecDone, Seq: 1})},
+		{"record after done", "after done", enc(plan0(), &Record{Type: RecDone, Seq: 2}, &Record{Type: RecDone, Seq: 3})},
+		{"plan without payload", "plan record without payload", enc(&Record{Type: RecPlan, Seq: 1})},
+		{"plan epoch skip", "plan epoch 2, want 1", enc(plan0(),
+			&Record{Type: RecPlan, Seq: 2, Plan: &PlanRecord{Epoch: 2, Payload: payload}})},
+		{"plan missing inner payload", "without plan payload", enc(&Record{Type: RecPlan, Seq: 1, Plan: &PlanRecord{}})},
+		{"plan invalid inner payload", "invalid plan payload", enc(&Record{Type: RecPlan, Seq: 1, Plan: &PlanRecord{Payload: &PlanPayload{}}})},
+		{"plan negative watermark", "negative watermark", enc(&Record{Type: RecPlan, Seq: 1, Plan: &PlanRecord{Payload: payload, StartRound: -1}})},
+		{"member without payload", "member record without payload", enc(plan0(), &Record{Type: RecMember, Seq: 2})},
+		{"member missing token", "missing name, token", enc(plan0(),
+			&Record{Type: RecMember, Seq: 2, Member: &MemberRecord{Name: "w", Ord: 1}})},
+		{"round without payload", "round record without payload", enc(plan0(), &Record{Type: RecRound, Seq: 2})},
+		{"round negative watermark", "negative watermark in round", enc(plan0(),
+			&Record{Type: RecRound, Seq: 2, Round: &RoundRecord{Watermark: -1}})},
+		{"round unadopted epoch", "unadopted epoch 1", enc(plan0(),
+			&Record{Type: RecRound, Seq: 2, Round: &RoundRecord{Epoch: 1, Watermark: 1}})},
+		{"replan without payload", "replan record without payload", enc(plan0(), &Record{Type: RecReplan, Seq: 2})},
+		{"replan without worker", "without a lost worker", enc(plan0(),
+			&Record{Type: RecReplan, Seq: 2, Replan: &ReplanRecord{}})},
+		{"recover without payload", "recover record without payload", enc(plan0(), &Record{Type: RecRecover, Seq: 2})},
+		{"unknown type", "unknown record type", enc(plan0(), &Record{Type: "bogus", Seq: 2})},
+		{"empty journal", "no plan record", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeState(c.recs)
+			if err == nil {
+				t.Fatal("violation decoded cleanly")
+			}
+			var corrupt *journal.CorruptJournalError
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("error is not the typed corruption: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

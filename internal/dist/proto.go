@@ -93,9 +93,12 @@ type Welcome struct {
 	Plan         *PlanPayload
 }
 
-// Reject refuses a hello.
+// Reject refuses a hello. Retryable marks transient refusals (a
+// mid-handshake name collision): the worker should back off and retry
+// rather than die.
 type Reject struct {
-	Reason string `json:"reason"`
+	Reason    string `json:"reason"`
+	Retryable bool   `json:"retryable,omitempty"`
 }
 
 // Bye ends a session cleanly.

@@ -144,6 +144,12 @@ func (ws *workerState) connect(ctx context.Context) (*session, error) {
 			return nil
 		case MsgReject:
 			w.close()
+			if msg.Reject.Retryable {
+				// Transient refusal (e.g. a handshake for our name is
+				// still in flight): surface as a retryable error so the
+				// backoff loop tries again.
+				return fmt.Errorf("dist: coordinator rejected worker %s (retryable): %s", ws.cfg.Name, msg.Reject.Reason)
+			}
 			fatal = fmt.Errorf("dist: coordinator rejected worker %s: %s", ws.cfg.Name, msg.Reject.Reason)
 			return nil
 		default:

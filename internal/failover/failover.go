@@ -308,6 +308,21 @@ func observeReplan(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.DeviceLo
 	}
 }
 
+// ObserveReplayed re-exports the llmpq_failover_* families and the
+// migration span for a replan that already happened — a coordinator
+// recovering from its journal resumes a degraded plan it did not compute
+// this run, and the sim registry must still report the replan it resumed
+// from.
+func ObserveReplayed(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.DeviceLostError,
+	lostDevices []string, movedLayers int, migration costmodel.MigrationBreakdown, startRound int) {
+	observeReplan(reg, spans, lost, &Outcome{
+		LostDevices: lostDevices,
+		MovedLayers: movedLayers,
+		Migration:   migration,
+		StartRound:  startRound,
+	})
+}
+
 // Controller reacts to permanent device loss by replanning on the
 // reduced cluster and resuming from the completed-token watermark.
 type Controller struct {

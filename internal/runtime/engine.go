@@ -163,6 +163,16 @@ type Engine struct {
 	// prefill. Used by the failover controller to resume on a degraded
 	// plan after a permanent device loss.
 	StartRound int
+	// OnRoundCommit, when non-nil, fires each time the completed-token
+	// watermark advances past StartRound: watermark is the decode round
+	// every request durably holds (prefill completion commits round 1),
+	// durableTokens = GlobalBatch × watermark is the cumulative token
+	// count at that watermark, and runTokens is what this engine run has
+	// generated so far. Called synchronously from the event loop in
+	// virtual-time order — the distributed coordinator journals each
+	// commit so a crashed control plane can restore the watermark
+	// exactly.
+	OnRoundCommit func(watermark, durableTokens, runTokens int)
 	// Trace records per-task execution spans into Stats.Trace (render with
 	// RenderGantt).
 	Trace bool
@@ -296,6 +306,25 @@ func (e *Engine) Run() (Stats, error) {
 			rounds[m] = e.StartRound
 		}
 	}
+	// committed is the last watermark reported through OnRoundCommit; it
+	// starts at the resume point so a resumed run reports only the
+	// progress it makes itself.
+	committed := e.StartRound
+	commitRound := func() {
+		if e.OnRoundCommit == nil {
+			return
+		}
+		w := rounds[0]
+		for _, r := range rounds[1:] {
+			if r < w {
+				w = r
+			}
+		}
+		if w > committed {
+			committed = w
+			e.OnRoundCommit(w, B*w, tokens)
+		}
+	}
 	// halted is set by a permanent device loss: every pending callback
 	// becomes a no-op so the event queue drains without scheduling more
 	// work, freezing the simulation at the loss instant.
@@ -333,6 +362,7 @@ func (e *Engine) Run() (Stats, error) {
 				for m := range rounds {
 					rounds[m] = 1
 				}
+				commitRound()
 				if workComplete() {
 					workDoneAt = clk.Now()
 				}
@@ -354,6 +384,7 @@ func (e *Engine) Run() (Stats, error) {
 		}
 		tokens += t.batch
 		rounds[t.mb] = t.round + 1
+		commitRound()
 		if t.round+1 < s.Work.Generate {
 			ret := e.commTime(p.Order[n-1], p.Order[0], p.DecodeMB, 1) * sched.CommMult(n-1, clk.Now())
 			next := task{mb: t.mb, batch: t.batch, round: t.round + 1}

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"testing"
+)
+
+type commit struct{ w, durable, run int }
+
+// TestOnRoundCommitWatermarks: the hook fires once per watermark advance,
+// strictly increasing from 1 (prefill completion) to Generate, with
+// durableTokens = B × watermark and the final commit matching the run's
+// token total — the journaling contract of the distributed coordinator.
+func TestOnRoundCommitWatermarks(t *testing.T) {
+	s, p, clean := chaosBaseline(t)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits []commit
+	eng.OnRoundCommit = func(w, durable, run int) {
+		commits = append(commits, commit{w, durable, run})
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TokensOut != clean.TokensOut {
+		t.Fatalf("instrumented run changed the result: %d vs %d tokens", st.TokensOut, clean.TokensOut)
+	}
+	if len(commits) != s.Work.Generate {
+		t.Fatalf("%d commits, want one per round (%d)", len(commits), s.Work.Generate)
+	}
+	B := s.Work.GlobalBatch
+	for i, c := range commits {
+		if c.w != i+1 {
+			t.Errorf("commit %d watermark %d, want %d", i, c.w, i+1)
+		}
+		if c.durable != B*c.w {
+			t.Errorf("commit %d durable %d, want %d", i, c.durable, B*c.w)
+		}
+		if c.run < c.durable {
+			t.Errorf("commit %d runTokens %d below durable %d", i, c.run, c.durable)
+		}
+	}
+	last := commits[len(commits)-1]
+	if last.durable != st.TokensOut || last.run != st.TokensOut {
+		t.Errorf("final commit (%d durable, %d run) does not match TokensOut %d",
+			last.durable, last.run, st.TokensOut)
+	}
+}
+
+// TestOnRoundCommitResumed: a watermark-resumed run reports only the
+// rounds past StartRound, and its durable counts stay absolute — so a
+// recovered coordinator's journal continues seamlessly from the replan
+// record.
+func TestOnRoundCommitResumed(t *testing.T) {
+	s, p, _ := chaosBaseline(t)
+	start := 2
+	if s.Work.Generate <= start+1 {
+		t.Skipf("workload generates %d rounds, need > %d", s.Work.Generate, start+1)
+	}
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.StartRound = start
+	var commits []commit
+	eng.OnRoundCommit = func(w, durable, run int) {
+		commits = append(commits, commit{w, durable, run})
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != s.Work.Generate-start {
+		t.Fatalf("%d commits, want %d", len(commits), s.Work.Generate-start)
+	}
+	if commits[0].w != start+1 {
+		t.Errorf("first resumed commit at watermark %d, want %d", commits[0].w, start+1)
+	}
+	B := s.Work.GlobalBatch
+	last := commits[len(commits)-1]
+	if last.w != s.Work.Generate || last.durable != B*s.Work.Generate {
+		t.Errorf("final commit %+v, want watermark %d durable %d", last, s.Work.Generate, B*s.Work.Generate)
+	}
+	// Token conservation: durable-at-resume plus this run's output is the
+	// clean total.
+	if B*start+st.TokensOut != B*s.Work.Generate {
+		t.Errorf("resumed run: %d + %d tokens != clean %d", B*start, st.TokensOut, B*s.Work.Generate)
+	}
+}

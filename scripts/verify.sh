@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full correctness gate: tier-1 verify, the llmpq-vet lint suite, the race
-# lane, and a ~30 s fuzz smoke over the quantizer. Mirrors `make verify-all`.
+# lane, and a ~60 s fuzz smoke (quantizer, serve decode, journal replay).
+# Mirrors `make verify-all`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +22,8 @@ EOF
 rm -f "$sarif"
 echo "== tests =="
 go test ./...
-echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist / serve) =="
-go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/... ./internal/serve/...
+echo "== race lane (pipeline engine / online / simclock / obs / tp / planner search / chaos / failover / dist / journal / serve) =="
+go test -race ./internal/runtime/... ./internal/online/... ./internal/simclock/... ./internal/obs/... ./internal/tp/... ./internal/assigner/... ./internal/lp/... ./internal/ilp/... ./internal/chaos/... ./internal/failover/... ./internal/core/retry/... ./internal/dist/... ./internal/journal/... ./internal/serve/...
 echo "== observability smoke (llmpq-bench -metrics-out/-trace-out) =="
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
@@ -132,6 +133,52 @@ for f in metrics.prom trace.json stdout.txt; do
         echo "verify.sh: distributed chaos run is not deterministic ($f differs)" >&2; exit 1; }
 done
 grep -q 'llmpq_dist_injected_conn_drops_total 1' "$obsdir/dchaos1/metrics.prom"
+echo "== crash recovery smoke (SIGKILL the coordinator mid-decode; -recover must byte-match) =="
+# Reference: a journaled run that never crashes, capturing every artifact
+# the recovered run must reproduce byte-for-byte. The stage-call total it
+# exports picks the crash point for the second run.
+mkdir -p "$obsdir/rec-ref" "$obsdir/rec-crash"
+(cd "$obsdir/rec-ref" && "$obsdir/llmpq-dist" -role coordinator \
+    -strat-file "$obsdir/dist-strat.json" -listen "$distaddr" -workers 2 \
+    -journal-dir jnl -metrics-out metrics.prom -trace-out trace.json > stdout.txt) &
+coord=$!
+"$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" > /dev/null &
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" > /dev/null &
+wait "$coord"
+wait
+calls=$(awk '/^llmpq_dist_stage_calls_total/ { print int($2) }' "$obsdir/rec-ref/metrics.prom")
+[ "${calls:-0}" -gt 4 ] || {
+    echo "verify.sh: reference run exported no stage-call total" >&2; exit 1; }
+# Crash run: the coordinator SIGKILLs itself two evaluations before the
+# end — deep in decode, with round watermarks already in the journal.
+# The workers outlive the crash on their dial-retry budget.
+(cd "$obsdir/rec-crash" && "$obsdir/llmpq-dist" -role coordinator \
+    -strat-file "$obsdir/dist-strat.json" -listen "$distaddr" -workers 2 \
+    -journal-dir jnl -coord-fail-after "$((calls - 2))" > stdout.txt) &
+coord=$!
+"$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" > /dev/null &
+w0=$!
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" > /dev/null &
+w1=$!
+if wait "$coord"; then
+    echo "verify.sh: -coord-fail-after coordinator exited cleanly instead of dying" >&2; exit 1
+fi
+# Restart on the same address with -recover: the journal replays, both
+# workers reattach under their rejoin tokens, stdout.txt is overwritten
+# by the recovered (complete) run.
+(cd "$obsdir/rec-crash" && "$obsdir/llmpq-dist" -role coordinator \
+    -strat-file "$obsdir/dist-strat.json" -listen "$distaddr" -workers 2 \
+    -journal-dir jnl -recover -metrics-out metrics.prom -trace-out trace.json \
+    -ctrl-metrics-out ctrl.prom > stdout.txt)
+wait "$w0" "$w1"
+for f in metrics.prom trace.json stdout.txt; do
+    diff "$obsdir/rec-ref/$f" "$obsdir/rec-crash/$f" || {
+        echo "verify.sh: recovered run diverged from the uninterrupted run ($f differs)" >&2; exit 1; }
+done
+grep -Eq 'llmpq_journal_replayed_records [1-9]' "$obsdir/rec-crash/ctrl.prom" || {
+    echo "verify.sh: recovery replayed no journal records" >&2; exit 1; }
+grep -Eq 'llmpq_dist_reattach_total 2' "$obsdir/rec-crash/ctrl.prom" || {
+    echo "verify.sh: both workers should reattach under their rejoin tokens" >&2; exit 1; }
 echo "== serve smoke (HTTP front door: completion + metrics, sim registry byte-diffable) =="
 go build -o "$obsdir/llmpq-serve" ./cmd/llmpq-serve
 serveaddr="127.0.0.1:$((20000 + RANDOM % 20000))"
@@ -163,8 +210,9 @@ grep -q 'llmpq_online_completed_total' "$obsdir/serve1/sim.prom"
 if grep -q 'llmpq_serve_' "$obsdir/serve1/sim.prom"; then
     echo "verify.sh: wall-clock llmpq_serve_* families leaked into the sim artifact" >&2; exit 1
 fi
-echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack + completion decode, ~45s) =="
+echo "== fuzz smoke (Theorem-1 round-trip + group-wise pack + completion decode + journal replay, ~60s) =="
 go test -run='^$' -fuzz=FuzzQuantDequantRoundTrip -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzGroupwisePack -fuzztime=15s ./internal/quant
 go test -run='^$' -fuzz=FuzzCompletionRequest -fuzztime=15s ./internal/serve
+go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=15s ./internal/dist
 echo "verify.sh: all lanes green"
