@@ -85,6 +85,16 @@ func runChaos(profile string, seed int64, metricsOut, traceOut string, solveCach
 		fmt.Printf("replanned: %d stages on degraded cluster, %d layers migrated (%.0f MB, %.4f s)\n",
 			rep.DegradedPlan.NumStages(), rep.MovedLayers, rep.Migration.TotalBytes/1e6, rep.Migration.TransferSec)
 	}
+	if rep.Restored {
+		fmt.Printf("device heal: %s returned; restore halt at %.4f s, watermark %d tokens/request\n",
+			rep.LostDevice, rep.RestoreHalt.AtSec, rep.RestoreHalt.Watermark)
+		fmt.Printf("restored: %d stages on the full cluster, %d layers migrated back (%.0f MB, %.4f s)\n",
+			rep.RestoredPlan.NumStages(), rep.RestoreMovedLayers,
+			rep.RestoreMigration.TotalBytes/1e6, rep.RestoreMigration.TransferSec)
+	}
+	if rep.Quarantined {
+		fmt.Printf("flap damping: %s quarantined after repeated loss; run finished degraded\n", rep.LostDevice)
+	}
 	fmt.Printf("chaos total: %d tokens in %.4f s (lost tasks %d, downtime %.4f s)\n",
 		rep.TotalTokens, rep.TotalLatencySec, rep.First.LostTasks, rep.First.DowntimeSec)
 	if rep.TotalTokens != base.TokensOut {

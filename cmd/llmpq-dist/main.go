@@ -39,6 +39,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +77,12 @@ func main() {
 		coordFailAfter = flag.Int("coord-fail-after", 0, "SIGKILL the coordinator process after this many completed stage evaluations (crash-recovery demos; 0 = never)")
 		ctrlMetricsOut = flag.String("ctrl-metrics-out", "", "write the wall-clock control-plane metrics dump here (journal/reattach/lease counters)")
 
+		// Heal (both roles): the coordinator opens the rejoin door, the
+		// worker flags its hellos as heal-capable rejoins.
+		rejoin    = flag.Bool("rejoin", false, "coordinator: re-admit a lost worker that rejoins mid-run and replan capacity back; worker: present the name as a heal-capable rejoin after a restart")
+		healDwell = flag.Duration("heal-dwell", 0, "how long a rejoined worker's lease must hold before the capacity-restoring replan fires (0 = the lease)")
+		flapTol   = flag.Int("flap-tolerance", 0, "lease losses per worker before it is quarantined instead of healed (0 = default 2)")
+
 		// Worker role.
 		connect   = flag.String("connect", "127.0.0.1:9380", "coordinator address to join")
 		name      = flag.String("name", "", "stable worker name (required for -role worker)")
@@ -96,9 +103,10 @@ func main() {
 			solveCache: *solveCache, replanOut: *replanOut,
 			journalDir: *journalDir, recover: *recoverRun,
 			coordFailAfter: *coordFailAfter, ctrlMetricsOut: *ctrlMetricsOut,
+			rejoin: *rejoin, healDwell: *healDwell, flapTolerance: *flapTol,
 		})
 	case "worker":
-		runWorker(*name, *connect, *hold, *failAfter, *verbose)
+		runWorker(*name, *connect, *hold, *failAfter, *rejoin, *verbose)
 	default:
 		fatalf("unknown -role %q (want single, coordinator, or worker)", *role)
 	}
@@ -189,6 +197,9 @@ type coordOpts struct {
 	recover                    bool
 	coordFailAfter             int
 	ctrlMetricsOut             string
+	rejoin                     bool
+	healDwell                  time.Duration
+	flapTolerance              int
 }
 
 // strategyHash fingerprints the raw strategy file so a recovery cannot
@@ -266,6 +277,7 @@ func runCoordinator(o coordOpts) {
 		Listener: ln, Workers: o.workers, Spec: spec, Plan: plan,
 		Heartbeat: o.heartbeat, Lease: o.lease, RoundDeadline: o.deadline,
 		JournalDir: o.journalDir, Recover: o.recover,
+		Rejoin: o.rejoin, HealDwell: o.healDwell, FlapTolerance: o.flapTolerance,
 		StrategyHash:   strategyHash(o.stratFile),
 		CoordFailAfter: failAfter, Die: die,
 		Obs: reg, CtrlObs: ctrl, Spans: rec, Logf: logf,
@@ -283,6 +295,13 @@ func runCoordinator(o coordOpts) {
 			res.LostWorker, res.Lost.Stage, res.LostDevice, res.Lost.AtSec, res.Lost.Watermark)
 		fmt.Printf("replanned    %d stages on survivors, %d layers migrated (%.0f MB, %.4f s)\n",
 			res.DegradedPlan.NumStages(), res.MovedLayers, res.Migration.TotalBytes/1e6, res.Migration.TransferSec)
+		if res.Restored {
+			fmt.Printf("worker heal  %s rejoined; restore halt at %.4f s, watermark %d tokens/request\n",
+				strings.Join(res.HealedWorkers, ","), res.RestoreHalt.AtSec, res.RestoreHalt.Watermark)
+			fmt.Printf("restored     %d stages on the full fleet, %d layers migrated back (%.0f MB, %.4f s)\n",
+				res.RestoredPlan.NumStages(), res.RestoreMovedLayers,
+				res.RestoreMigration.TotalBytes/1e6, res.RestoreMigration.TransferSec)
+		}
 		fmt.Printf("total        %d tokens in %.4f s\n", res.TotalTokens, res.TotalLatencySec)
 		if o.replanOut != "" {
 			// The degraded plan is a pure function of (strategy, lost
@@ -310,7 +329,7 @@ func runCoordinator(o coordOpts) {
 	}
 }
 
-func runWorker(name, connect string, hold time.Duration, failAfter int, verbose bool) {
+func runWorker(name, connect string, hold time.Duration, failAfter int, rejoin, verbose bool) {
 	if name == "" {
 		fatalf("-role worker requires -name")
 	}
@@ -323,7 +342,7 @@ func runWorker(name, connect string, hold time.Duration, failAfter int, verbose 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := dist.RunWorker(ctx, dist.WorkerConfig{
-		Name: name, Connect: connect, Hold: hold, FailAfterCalls: failAfter,
+		Name: name, Connect: connect, Hold: hold, FailAfterCalls: failAfter, Rejoin: rejoin,
 		// Patient dial budget (~1 min) so workers may be launched before
 		// the coordinator binds its port.
 		Retry:     retry.Policy{MaxAttempts: 60, BaseDelaySec: 0.1, Factor: 1.5, MaxDelaySec: 2, JitterFrac: 0.2},

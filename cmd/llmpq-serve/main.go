@@ -42,6 +42,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 16, "continuous-batching admission cap")
 		shedDepth = flag.Int("shed-depth", 64, "waiting-queue watermark; at or past it new requests get 429 (0 = never shed)")
 		downshift = flag.Bool("downshift", false, "drop weight precision under sustained KV pressure")
+		upshift   = flag.Bool("upshift", false, "climb the precision ladder back up once KV pressure clears (requires -downshift)")
 		maxNew    = flag.Int("max-new", 256, "per-request max_tokens cap and default")
 		seed      = flag.Int64("seed", 1, "simulation seed (fixes the deterministic artifact)")
 		stepHold  = flag.Duration("step-hold", time.Millisecond, "wall pause per decode step (paces streams, widens the batching window)")
@@ -64,7 +65,7 @@ func main() {
 		Engine: online.Config{
 			GPU: gpu, Model: m, Bits: *bits,
 			MaxNew: *maxNew, MaxBatch: *maxBatch, ShedDepth: *shedDepth,
-			Downshift: *downshift, Seed: *seed,
+			Downshift: *downshift, Upshift: *upshift, Seed: *seed,
 		},
 		Sim:       obs.NewRegistry(),
 		Ctrl:      obs.NewRegistry(),
@@ -92,8 +93,9 @@ func main() {
 	serveErr := srv.Serve(ctx, ln, *drainWait)
 
 	st := srv.EngineStats()
-	fmt.Printf("llmpq-serve: drained: completed=%d shed=%d downshifts=%d final_bits=%d generated_tok=%d\n",
-		st.Completed, st.Shed, st.Downshifts, st.FinalBits, st.GeneratedTok)
+	tier, healing := srv.Health()
+	fmt.Printf("llmpq-serve: drained: completed=%d shed=%d downshifts=%d upshifts=%d final_bits=%d degradation_tier=%d healing=%v generated_tok=%d\n",
+		st.Completed, st.Shed, st.Downshifts, st.Upshifts, st.FinalBits, tier, healing, st.GeneratedTok)
 	if *simOut != "" {
 		if err := obs.WriteArtifact(*simOut, srv.SimRegistry().WriteText); err != nil {
 			fatalf("write %s: %v", *simOut, err)

@@ -109,10 +109,24 @@ type Fault struct {
 	Kind  Kind
 	Stage int // pipeline stage (ignored by KindKVAlloc)
 	AtSec float64
-	// RecoverySec is the crash downtime (KindCrash, non-permanent).
+	// RecoverySec is the crash downtime (KindCrash, non-permanent): the
+	// device stalls but keeps its plan, state, and membership. It is
+	// mutually exclusive with Permanent — a permanent loss that later
+	// heals is a RecoverAfterSec schedule, not downtime.
 	RecoverySec float64
-	// Permanent marks a crash as unrecoverable device loss (KindCrash).
+	// Permanent marks a crash as unrecoverable device loss (KindCrash):
+	// the device surrenders its state, the fleet replans without it.
 	Permanent bool
+	// RecoverAfterSec, when positive on a Permanent crash, is the heal
+	// schedule: the lost device returns (fresh process, empty state)
+	// that many seconds after the loss and may be replanned back in via
+	// the failover restore path. Zero means the loss never heals.
+	RecoverAfterSec float64
+	// Flaps is the number of extra loss/rejoin cycles the healed device
+	// goes through before its lease finally stabilizes (KindCrash with
+	// RecoverAfterSec). Flap damping quarantines devices that exceed
+	// the controller's tolerance.
+	Flaps int
 	// Factor is the slowdown multiplier (>= 1) for KindStraggler and
 	// KindSlowLink, or the failure probability in (0, 1] for KindKVAlloc.
 	Factor float64
@@ -164,10 +178,28 @@ func (f Fault) Validate(stages int, horizonSec float64) error {
 	if horizonSec > 0 && f.AtSec > horizonSec {
 		return fmt.Errorf("chaos: %s fault at %.3fs is beyond the %.3fs run horizon", f.Kind, f.AtSec, horizonSec)
 	}
+	if f.Kind != KindCrash && (f.RecoverAfterSec != 0 || f.Flaps != 0) {
+		return fmt.Errorf("chaos: %s fault cannot schedule a heal (RecoverAfterSec/Flaps are crash-only)", f.Kind)
+	}
 	switch f.Kind {
 	case KindCrash:
 		if f.RecoverySec < 0 {
 			return fmt.Errorf("chaos: crash recovery %g is negative", f.RecoverySec)
+		}
+		if f.Permanent && f.RecoverySec != 0 {
+			return fmt.Errorf("chaos: permanent crash cannot set RecoverySec %g (transient downtime); use RecoverAfterSec to schedule the heal", f.RecoverySec)
+		}
+		if f.RecoverAfterSec < 0 {
+			return fmt.Errorf("chaos: crash RecoverAfterSec %g is negative", f.RecoverAfterSec)
+		}
+		if f.RecoverAfterSec > 0 && !f.Permanent {
+			return fmt.Errorf("chaos: RecoverAfterSec %g only applies to permanent loss; transient downtime is RecoverySec", f.RecoverAfterSec)
+		}
+		if f.Flaps < 0 {
+			return fmt.Errorf("chaos: crash flap count %d is negative", f.Flaps)
+		}
+		if f.Flaps > 0 && f.RecoverAfterSec == 0 {
+			return fmt.Errorf("chaos: %d flaps without a RecoverAfterSec heal schedule", f.Flaps)
 		}
 	case KindStraggler, KindSlowLink:
 		if f.Factor < 1 {

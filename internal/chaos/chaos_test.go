@@ -14,6 +14,13 @@ func TestFaultValidate(t *testing.T) {
 	}{
 		{"valid transient crash", Fault{Kind: KindCrash, Stage: 1, AtSec: 1, RecoverySec: 0.5}, 10, ""},
 		{"valid permanent crash", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true}, 10, ""},
+		{"valid healing crash", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true, RecoverAfterSec: 2, Flaps: 1}, 10, ""},
+		{"permanent with downtime", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true, RecoverySec: 0.5}, 10, "use RecoverAfterSec"},
+		{"negative heal schedule", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true, RecoverAfterSec: -1}, 10, "RecoverAfterSec"},
+		{"heal on transient crash", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, RecoverAfterSec: 2}, 10, "only applies to permanent"},
+		{"negative flaps", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true, RecoverAfterSec: 2, Flaps: -1}, 10, "flap count"},
+		{"flaps without heal", Fault{Kind: KindCrash, Stage: 0, AtSec: 1, Permanent: true, Flaps: 1}, 10, "without a RecoverAfterSec"},
+		{"heal on non-crash kind", Fault{Kind: KindStraggler, Stage: 0, AtSec: 1, Factor: 2, DurationSec: 1, RecoverAfterSec: 2}, 10, "crash-only"},
 		{"stage out of range", Fault{Kind: KindCrash, Stage: 3, AtSec: 1}, 10, "out of [0,3)"},
 		{"negative stage", Fault{Kind: KindStraggler, Stage: -1, AtSec: 1, Factor: 2, DurationSec: 1}, 10, "out of [0,3)"},
 		{"negative at", Fault{Kind: KindCrash, Stage: 0, AtSec: -1}, 10, "negative time"},
@@ -149,6 +156,43 @@ func TestProfilesDeterministic(t *testing.T) {
 				t.Errorf("generated schedule invalid: %v", err)
 			}
 		})
+	}
+}
+
+// TestHealProfileShapes pins the heal-specific invariants the failover
+// controller and the dist rejoin path rely on.
+func TestHealProfileShapes(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s, err := New(ProfileFlap, seed, 4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, ok := s.Permanent()
+		if !ok {
+			t.Fatalf("seed %d: flap profile has no permanent loss", seed)
+		}
+		if f.RecoverAfterSec <= 0 {
+			t.Errorf("seed %d: flap loss never heals (%+v)", seed, f)
+		}
+		if f.Flaps < 0 || f.Flaps > 1 {
+			t.Errorf("seed %d: flap count %d outside [0,1] — would trip default quarantine", seed, f.Flaps)
+		}
+		// Loss + heal + one flap cycle must land inside the horizon so
+		// the restore happens mid-run, not after drain.
+		if end := f.AtSec + f.RecoverAfterSec*float64(1+f.Flaps); end >= s.HorizonSec {
+			t.Errorf("seed %d: heal at %.3fs lands past the %.1fs horizon", seed, end, s.HorizonSec)
+		}
+
+		ph, err := New(ProfilePartitionHeal, seed, 4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ph.Faults) != 1 || ph.Faults[0].Kind != KindPartition || ph.Faults[0].Conn != -1 {
+			t.Fatalf("seed %d: partition-heal shape %+v", seed, ph.Faults)
+		}
+		if ph.Faults[0].DurationSec < 0.3*ph.HorizonSec {
+			t.Errorf("seed %d: partition window %.3fs too short to expire leases", seed, ph.Faults[0].DurationSec)
+		}
 	}
 }
 

@@ -18,6 +18,14 @@ const (
 	ProfilePartition  = "partition"   // control-plane partition window (dist)
 	ProfileNetDelay   = "net-delay"   // control-plane frame delays (dist)
 	ProfileCoordCrash = "coord-crash" // coordinator self-kill mid-run (dist)
+
+	// ProfileFlap schedules a permanent loss that heals: the device
+	// returns after RecoverAfterSec (possibly flapping first) and the
+	// failover controller replans it back in after the dwell.
+	ProfileFlap = "flap"
+	// ProfilePartitionHeal is a long full partition (dist): leases
+	// expire mid-window, the partition heals, and workers rejoin.
+	ProfilePartitionHeal = "partition-heal"
 )
 
 // Profiles lists the known profile names, sorted.
@@ -26,7 +34,7 @@ func Profiles() []string {
 		ProfileCrash, ProfilePermLoss, ProfileStragglers,
 		ProfileSlowLink, ProfileKVPressure, ProfileMixed,
 		ProfileConnDrop, ProfilePartition, ProfileNetDelay,
-		ProfileCoordCrash,
+		ProfileCoordCrash, ProfileFlap, ProfilePartitionHeal,
 	}
 	sort.Strings(names)
 	return names
@@ -103,6 +111,25 @@ func New(name string, seed int64, stages int, horizonSec float64) (*Schedule, er
 		s.Faults = []Fault{{
 			Kind: KindNetDelay, Conn: -1, AtSec: at(),
 			DelaySec: 0.01 + 0.04*rng.Float64(), DurationSec: window(),
+		}}
+	case ProfileFlap:
+		// Loss early in the busy window so the heal (loss + recover +
+		// dwell) still lands inside the degraded run's decode tail. At
+		// most one extra flap: below the controller's default quarantine
+		// threshold, so the device is always replanned back in.
+		s.Faults = []Fault{{
+			Kind: KindCrash, Stage: stage(), AtSec: horizonSec * (0.2 + 0.2*rng.Float64()),
+			Permanent:       true,
+			RecoverAfterSec: horizonSec * (0.1 + 0.1*rng.Float64()),
+			Flaps:           rng.Intn(2),
+		}}
+	case ProfilePartitionHeal:
+		// A partition long enough for leases to expire before it heals
+		// (the plain partition profile stays under the lease, so workers
+		// only detach). Rejoin-enabled coordinators readmit afterwards.
+		s.Faults = []Fault{{
+			Kind: KindPartition, Conn: -1, AtSec: at(),
+			DurationSec: horizonSec * (0.3 + 0.2*rng.Float64()),
 		}}
 	case ProfileCoordCrash:
 		// Call-count triggered, like conn-drop's frame trigger: the crash

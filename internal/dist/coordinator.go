@@ -53,6 +53,23 @@ type Config struct {
 	// JoinTimeout bounds the initial membership barrier. Default 30s.
 	JoinTimeout time.Duration
 
+	// Rejoin opens the heal half of the membership state machine: a LOST
+	// worker (or a freshly restarted process presenting its name with the
+	// Hello rejoin flag) may re-admit mid-run — LOST → REJOINING — and,
+	// once its lease has held for HealDwell, the coordinator voluntarily
+	// halts the degraded run and replans capacity back onto the returned
+	// devices. Off (the default), the membership stays closed after loss:
+	// the pre-heal fence.
+	Rejoin bool
+	// HealDwell is how long a rejoined worker's lease must hold before
+	// the capacity-restoring replan fires — flap damping's first line.
+	// Default: Lease.
+	HealDwell time.Duration
+	// FlapTolerance caps total loss events per worker: a worker losing
+	// its lease more than this many times is quarantined (its rejoins are
+	// fatally rejected and it is never replanned back in). Default 2.
+	FlapTolerance int
+
 	// JournalDir, when non-empty, makes the coordinator durable: every
 	// determinism-relevant state transition — plan adoption, token
 	// mints, watermark commits, failover replans, completion — is
@@ -117,6 +134,12 @@ func (c *Config) withDefaults() Config {
 	if out.JoinTimeout <= 0 {
 		out.JoinTimeout = 30 * time.Second
 	}
+	if out.HealDwell <= 0 {
+		out.HealDwell = out.Lease
+	}
+	if out.FlapTolerance <= 0 {
+		out.FlapTolerance = 2
+	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
@@ -150,6 +173,23 @@ type Result struct {
 	// run's TokensOut exactly.
 	TotalTokens     int
 	TotalLatencySec float64
+
+	// Restored reports the lost worker rejoined mid-run and a
+	// capacity-restoring replan brought its devices back.
+	Restored bool
+	// HealedWorkers names the rejoined workers admitted by the restore.
+	HealedWorkers []string
+	// RestoredDevices names the physical devices replanned back in.
+	RestoredDevices []string
+	// RestoreHalt is the voluntary halt that triggered the restore.
+	RestoreHalt  *rt.RestoreHaltError
+	RestoredPlan *assigner.Plan
+	// RestoreMovedLayers / RestoreMigration are the migrate-back bill.
+	RestoreMovedLayers int
+	RestoreMigration   costmodel.MigrationBreakdown
+	// Final is the run that finished on the restored plan (zero unless
+	// Restored; TotalTokens and TotalLatencySec then fold it in).
+	Final rt.Stats
 }
 
 // errMemberLost signals a lease expiry to a waiting stage call.
@@ -168,7 +208,11 @@ var ErrInjectedCoordCrash = errors.New("dist: injected coordinator crash")
 
 // memberState tracks one worker through the lease state machine:
 // joining (hello seen) → active (conn up) ⇄ detached (conn down, lease
-// running) → lost (lease expired; terminal).
+// running) → lost (lease expired). LOST is terminal unless the
+// coordinator runs with Config.Rejoin, which adds the heal transitions
+// LOST → rejoining → active (DESIGN.md §15); a worker that keeps
+// flapping past Config.FlapTolerance lands in quarantined, which IS
+// terminal.
 type member struct {
 	name  string
 	token string
@@ -184,7 +228,16 @@ type member struct {
 	// token is the only key that opens the name.
 	proven     bool
 	reattached chan struct{} // replaced on detach, closed on attach
-	lostCh     chan struct{} // closed once on lease expiry
+	lostCh     chan struct{} // closed on lease expiry, replaced on rejoin
+	// rejoining marks a healed worker not yet replanned back in; it
+	// serves no stage until the restore replan promotes it. rejoinedAt
+	// starts the heal dwell.
+	rejoining  bool
+	rejoinedAt time.Time
+	// flaps counts lease losses; past the tolerance the worker is
+	// quarantined and its rejoins fence out fatally.
+	flaps       int
+	quarantined bool
 }
 
 func (m *member) touch() {
@@ -233,7 +286,8 @@ func (m *member) detachIf(w *wire) {
 	w.close()
 }
 
-// markLost transitions to the terminal state; idempotent.
+// markLost transitions to lost; idempotent. Each loss counts one flap —
+// a rejoining worker that goes silent again burns tolerance budget.
 func (m *member) markLost() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -241,12 +295,35 @@ func (m *member) markLost() bool {
 		return false
 	}
 	m.lost = true
+	m.rejoining = false
+	m.flaps++
 	if m.conn != nil {
 		m.conn.close()
 		m.conn = nil
 	}
 	close(m.lostCh)
 	return true
+}
+
+// rejoin performs the LOST → REJOINING transition under the lock: the
+// lease channel is replaced (never re-close a closed channel) and the
+// heal dwell starts now. Caller has already decided admission.
+func (m *member) rejoin() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lost = false
+	m.lostCh = make(chan struct{})
+	m.rejoining = true
+	m.rejoinedAt = time.Now()
+	m.lastHeard = time.Now()
+}
+
+// healReady reports a rejoined worker whose lease has held for the
+// dwell — attached, not re-lost, dwell elapsed.
+func (m *member) healReady(dwell time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejoining && !m.lost && m.conn != nil && time.Since(m.rejoinedAt) >= dwell
 }
 
 // awaitConn returns the member's live connection, waiting through a
@@ -306,6 +383,11 @@ type coordinator struct {
 
 	// calls counts completed remote evaluations (CoordFailAfter seam).
 	calls atomic.Int64
+	// healArmed is set while the degraded epoch runs under Config.Rejoin:
+	// the first stage call that finds a dwell-stable rejoined worker
+	// swaps it false and halts the engine for the restore replan (one
+	// restore per run, mirroring the at-most-one-loss invariant).
+	healArmed atomic.Bool
 
 	// Deterministic counters (sim registry).
 	stageCalls *obs.Counter
@@ -513,6 +595,14 @@ func (co *coordinator) seedRecovered(st *RecoveredState) error {
 	for _, rr := range st.Replans {
 		lost[rr.LostWorker] = true
 	}
+	// A journaled heal resurrects the worker: it reattaches under its
+	// rotated token like any survivor. (Flap counts are not journaled —
+	// the tolerance budget resets with the coordinator process.)
+	for _, hr := range st.Restores {
+		for _, name := range hr.HealedWorkers {
+			delete(lost, name)
+		}
+	}
 	for _, mr := range st.Members {
 		m := &member{name: mr.Name, token: mr.Token, proven: true, lostCh: make(chan struct{})}
 		m.lastHeard = time.Now()
@@ -565,12 +655,15 @@ func (co *coordinator) awaitMembership() error {
 }
 
 // resumeReplanned finishes a recovered run whose crash postdates a
-// failover replan: re-adopt the journaled degraded plan and resume from
+// failover replan: re-adopt the journaled current plan — degraded, or
+// restored if a heal was journaled before the crash — and resume from
 // the latest durable watermark. Token conservation is exact —
 // durable-at-resume plus the resumed output equals a clean run's total —
 // but no byte-identity is promised here (the loss instant was wall-clock
 // data the clean run never saw), matching the uninterrupted failover
-// path's contract.
+// path's contract. A recovered coordinator does not re-arm the heal: the
+// degraded Outcome it would replan from died with the original process,
+// so an un-healed loss stays degraded to completion.
 func (co *coordinator) resumeReplanned(live []*member) (*Result, error) {
 	cfg := co.cfg
 	st := co.recovered
@@ -609,7 +702,19 @@ func (co *coordinator) resumeReplanned(live []*member) (*Result, error) {
 	// Re-export the failover families from the journal so the recovered
 	// run's sim registry still reports the replan it resumed from.
 	failover.ObserveReplayed(cfg.Obs, cfg.Spans, lost, rr.LostDevices, rr.MovedLayers, rr.Migration, rr.StartRound)
-	cfg.Logf("resuming replanned epoch %d from round %d on %d survivors", co.epoch, start, len(live))
+	var hr *RestoreRecord
+	var halt *rt.RestoreHaltError
+	if st.Plans[len(st.Plans)-1].Reason == "restore" && len(st.Restores) > 0 {
+		// The crash postdates a journaled heal: the current payload is the
+		// restored plan, and the restore families replay alongside it.
+		hr = st.Restores[len(st.Restores)-1]
+		halt = &rt.RestoreHaltError{
+			AtSec: hr.AtSec, Watermark: hr.Watermark,
+			DurableTokens: hr.DurableTokens, PrefillDone: hr.PrefillDone,
+		}
+		failover.ObserveRestoreReplayed(cfg.Obs, cfg.Spans, halt, hr.ReturnedDevices, hr.MovedLayers, hr.Migration, hr.StartRound)
+	}
+	cfg.Logf("resuming replanned epoch %d from round %d on %d workers", co.epoch, start, len(live))
 
 	resumed, err := eng.Run()
 	if err != nil {
@@ -638,6 +743,22 @@ func (co *coordinator) resumeReplanned(live []*member) (*Result, error) {
 	}
 	if len(rr.LostDevices) > 0 {
 		res.LostDevice = rr.LostDevices[0]
+	}
+	if hr != nil {
+		// The resumed run served the restored plan; report it as the heal's
+		// final leg, mirroring the uninterrupted restore path.
+		res.Restored = true
+		res.HealedWorkers = hr.HealedWorkers
+		res.RestoredDevices = hr.ReturnedDevices
+		res.RestoreHalt = halt
+		res.RestoredPlan = plan
+		// The degraded plan is the epoch before the restore's.
+		res.DegradedPlan = st.Plans[len(st.Plans)-2].Payload.Plan
+		res.RestoreMovedLayers = hr.MovedLayers
+		res.RestoreMigration = hr.Migration
+		res.Final = resumed
+		res.Resumed = rt.Stats{}
+		res.TotalLatencySec = rr.AtSec + rr.Migration.TransferSec + hr.AtSec + hr.Migration.TransferSec + resumed.LatencySec
 	}
 	return res, nil
 }
@@ -768,10 +889,21 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	eng.StageTimer = co.stageTime
 	eng.OnRoundCommit = co.onRoundCommit
 	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+	if cfg.Rejoin {
+		// Arm the heal: the lost worker may rejoin mid-epoch, and once
+		// its lease has held for the dwell the next stage call halts this
+		// engine for the capacity-restoring replan.
+		co.healArmed.Store(true)
+	}
 	resumed, err := eng.Run()
+	co.healArmed.Store(false)
 	if err != nil {
 		if errors.Is(err, ErrInjectedCoordCrash) {
 			return nil, err
+		}
+		var halt *rt.RestoreHaltError
+		if errors.As(err, &halt) {
+			return co.restore(lost, deadName, out, halt)
 		}
 		return nil, fmt.Errorf("dist: resumed run failed: %w", err)
 	}
@@ -793,10 +925,167 @@ func (co *coordinator) failover(lost *rt.DeviceLostError) (*Result, error) {
 	}, nil
 }
 
+// restore finishes a degraded run that voluntarily halted because the
+// lost worker healed: replan capacity back onto the returned devices
+// (warm-started by the original pre-loss plan), journal the heal
+// write-ahead, re-run the join barrier only for the returning members
+// (their reconfigure round-trip), and drive the restored plan from the
+// halt watermark to completion.
+func (co *coordinator) restore(lost *rt.DeviceLostError, lostWorker string, degraded *failover.Outcome, halt *rt.RestoreHaltError) (*Result, error) {
+	cfg := co.cfg
+	healed := co.healedMembers()
+	if len(healed) == 0 {
+		// The healed worker vanished again between the halt trigger and
+		// the replan: finish the run degraded from the halt watermark.
+		cfg.Logf("restore halt at %.3fs found no stable healed worker; continuing degraded", halt.AtSec)
+		return co.resumeDegraded(lost, lostWorker, degraded, halt)
+	}
+	rout, err := failover.ReplanRestore(cfg.Spec, cfg.Plan, cfg.Timer, degraded, halt, nil, cfg.Obs, cfg.CtrlObs, cfg.Spans)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(healed))
+	for _, m := range healed {
+		names = append(names, m.name)
+	}
+	payload := NewPlanPayload(rout.Restored, rout.Plan)
+	co.mu.Lock()
+	co.payload = payload
+	co.mu.Unlock()
+	// The heal transition is journaled write-ahead, before any worker
+	// acts on the restored plan: like the loss, the heal instant is
+	// wall-clock data (a dwell expiry) a recovered coordinator cannot
+	// re-derive.
+	co.epoch++
+	co.startRound, co.baseDurable = rout.StartRound, rout.DurableTokens
+	if co.jnl != nil {
+		co.jnl.append(&Record{Type: RecRestore, Restore: &RestoreRecord{
+			HealedWorkers: names, ReturnedDevices: rout.RestoredDevices,
+			AtSec: halt.AtSec, Watermark: halt.Watermark, DurableTokens: halt.DurableTokens,
+			PrefillDone: halt.PrefillDone, MovedLayers: rout.MovedLayers,
+			Migration: rout.Migration, StartRound: rout.StartRound,
+		}})
+		co.jnl.append(&Record{Type: RecPlan, Plan: co.planRecord(co.epoch, "restore", payload, rout.StartRound, rout.DurableTokens)})
+		if jerr := co.jnl.Err(); jerr != nil {
+			return nil, jerr
+		}
+	}
+	// The returning members complete their join barrier first — the
+	// restored plan is what admits them back to serving — then the
+	// survivors follow.
+	for _, m := range healed {
+		if err := co.reconfigure(m, payload); err != nil {
+			return nil, fmt.Errorf("dist: reconfigure healed %s: %w", m.name, err)
+		}
+		m.mu.Lock()
+		m.rejoining = false
+		m.mu.Unlock()
+	}
+	healedSet := make(map[string]bool, len(healed))
+	for _, m := range healed {
+		healedSet[m.name] = true
+	}
+	live := co.liveMembers()
+	for _, m := range live {
+		if healedSet[m.name] {
+			continue
+		}
+		if err := co.reconfigure(m, payload); err != nil {
+			return nil, fmt.Errorf("dist: reconfigure %s: %w", m.name, err)
+		}
+	}
+	co.assignStages(rout.Plan, live)
+	co.setWorkersGauge(len(live))
+	cfg.Logf("restored: %d stages on %d workers (healed %v), %d layers migrate back (%.0f bytes), resume round %d",
+		rout.Plan.NumStages(), len(live), names, rout.MovedLayers, rout.Migration.TotalBytes, rout.StartRound)
+
+	eng, err := rt.NewEngine(rout.Restored, rout.Plan, cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	eng.StartRound = rout.StartRound
+	eng.StageTimer = co.stageTime
+	eng.OnRoundCommit = co.onRoundCommit
+	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+	final, err := eng.Run()
+	if err != nil {
+		if errors.Is(err, ErrInjectedCoordCrash) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dist: restored run failed: %w", err)
+	}
+	if jerr := co.finishJournal(); jerr != nil {
+		return nil, jerr
+	}
+	return &Result{
+		Replanned:          true,
+		Lost:               lost,
+		LostWorker:         lostWorker,
+		LostDevice:         degraded.LostDevice,
+		LostDevices:        degraded.LostDevices,
+		DegradedPlan:       degraded.Plan,
+		MovedLayers:        degraded.MovedLayers,
+		Migration:          degraded.Migration,
+		Restored:           true,
+		HealedWorkers:      names,
+		RestoredDevices:    rout.RestoredDevices,
+		RestoreHalt:        halt,
+		RestoredPlan:       rout.Plan,
+		RestoreMovedLayers: rout.MovedLayers,
+		RestoreMigration:   rout.Migration,
+		Final:              final,
+		TotalTokens:        rout.DurableTokens + final.TokensOut,
+		TotalLatencySec:    lost.AtSec + degraded.Migration.TransferSec + halt.AtSec + rout.Migration.TransferSec + final.LatencySec,
+	}, nil
+}
+
+// resumeDegraded finishes the degraded epoch from a restore halt whose
+// healed worker evaporated before the replan could run.
+func (co *coordinator) resumeDegraded(lost *rt.DeviceLostError, lostWorker string, degraded *failover.Outcome, halt *rt.RestoreHaltError) (*Result, error) {
+	cfg := co.cfg
+	eng, err := rt.NewEngine(degraded.Degraded, degraded.Plan, cfg.Timer)
+	if err != nil {
+		return nil, err
+	}
+	eng.StartRound = halt.Watermark
+	eng.StageTimer = co.stageTime
+	eng.OnRoundCommit = co.onRoundCommit
+	eng.Obs, eng.Spans, eng.Trace = cfg.Obs, cfg.Spans, cfg.Trace
+	resumed, err := eng.Run()
+	if err != nil {
+		if errors.Is(err, ErrInjectedCoordCrash) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dist: degraded continuation failed: %w", err)
+	}
+	if jerr := co.finishJournal(); jerr != nil {
+		return nil, jerr
+	}
+	return &Result{
+		Replanned:       true,
+		Lost:            lost,
+		LostWorker:      lostWorker,
+		LostDevice:      degraded.LostDevice,
+		LostDevices:     degraded.LostDevices,
+		DegradedPlan:    degraded.Plan,
+		MovedLayers:     degraded.MovedLayers,
+		Migration:       degraded.Migration,
+		Resumed:         resumed,
+		TotalTokens:     halt.DurableTokens + resumed.TokensOut,
+		TotalLatencySec: lost.AtSec + degraded.Migration.TransferSec + resumed.LatencySec,
+	}, nil
+}
+
 // stageTime is the Engine.StageTimer callback: evaluate one task on the
 // worker owning the stage, surviving detach windows and deadline
-// aborts, and converting a lease expiry into a StageLostError.
+// aborts, and converting a lease expiry into a StageLostError. While the
+// degraded epoch runs with heal armed, the first call that finds a
+// dwell-stable rejoined worker instead halts the engine with a
+// StageRestoreError so the restore replan can bring it back.
 func (co *coordinator) stageTime(stage, batch, round int, prefill bool) (float64, error) {
+	if co.healArmed.Load() && len(co.healedMembers()) > 0 && co.healArmed.CompareAndSwap(true, false) {
+		return 0, &rt.StageRestoreError{}
+	}
 	co.mu.Lock()
 	if stage >= len(co.owners) {
 		co.mu.Unlock()
@@ -1053,6 +1342,8 @@ func (co *coordinator) handleConn(c net.Conn) {
 // admit resolves a hello into a member plus, when a token was minted or
 // rotated, the MemberRecord to journal once the welcome is delivered; or
 // into a rejection (retryable for transient mid-handshake collisions).
+// Under Config.Rejoin a LOST name may heal back in — see admitRejoin —
+// while stale tokens and quarantined flappers stay fenced out.
 func (co *coordinator) admit(h *Hello) (*member, *MemberRecord, string, bool) {
 	if h.Name == "" {
 		return nil, nil, "worker name must not be empty", false
@@ -1068,6 +1359,9 @@ func (co *coordinator) admit(h *Hello) (*member, *MemberRecord, string, bool) {
 		}
 		m.mu.Unlock()
 		if lost {
+			if co.cfg.Rejoin {
+				return co.admitRejoin(h, m, tokenOK)
+			}
 			return nil, nil, fmt.Sprintf("worker %q lease expired; membership is closed", h.Name), false
 		}
 		if tokenOK {
@@ -1091,6 +1385,15 @@ func (co *coordinator) admit(h *Hello) (*member, *MemberRecord, string, bool) {
 			// or dies (rotation path above).
 			return nil, nil, fmt.Sprintf("worker name %q is mid-handshake", h.Name), true
 		}
+		if co.cfg.Rejoin && h.Rejoin {
+			// A heal-capable restart raced the lease: the old incarnation is
+			// dead (or dying) but the sweeper has not yet declared it — the
+			// restart may even beat the coordinator noticing the severed
+			// connection. Back off until the lease verdict opens the rejoin
+			// door; an actual live holder keeps the name (the squatter's
+			// retries run out against a healthy lease).
+			return nil, nil, fmt.Sprintf("worker %q lease is still live; retry after expiry", h.Name), true
+		}
 		return nil, nil, fmt.Sprintf("worker name %q is taken", h.Name), false
 	}
 	if h.Token != "" {
@@ -1108,6 +1411,56 @@ func (co *coordinator) admit(h *Hello) (*member, *MemberRecord, string, bool) {
 	m.lastHeard = time.Now()
 	co.members[h.Name] = m
 	return m, &MemberRecord{Name: h.Name, Token: m.token, Ord: co.tokens}, "", false
+}
+
+// admitRejoin is the heal half of admit (Config.Rejoin; co.mu held):
+// decide whether a hello for a LOST name re-opens it. Two doors in —
+// the member's own current token (a surviving process back from a long
+// partition) or a token-less hello carrying the rejoin flag (a
+// restarted process reclaiming its name; the token rotates so the dead
+// incarnation's mint can never open the name again). Stale non-empty
+// tokens stay fatally fenced, un-flagged token-less hellos keep the
+// closed-membership fence, and a flapper past the tolerance is
+// quarantined for the rest of the run.
+func (co *coordinator) admitRejoin(h *Hello, m *member, tokenOK bool) (*member, *MemberRecord, string, bool) {
+	m.mu.Lock()
+	quarantined, flaps := m.quarantined, m.flaps
+	m.mu.Unlock()
+	if quarantined {
+		return nil, nil, fmt.Sprintf("worker %q is quarantined after %d lease losses", h.Name, flaps), false
+	}
+	if !tokenOK && h.Token != "" {
+		// A stale mint (or a squatter guessing): epoch fencing holds even
+		// with the heal door open.
+		return nil, nil, fmt.Sprintf("worker %q presented a stale rejoin token", h.Name), false
+	}
+	if !tokenOK && !h.Rejoin {
+		return nil, nil, fmt.Sprintf("worker %q lease expired; membership is closed", h.Name), false
+	}
+	if flaps > co.cfg.FlapTolerance {
+		m.mu.Lock()
+		m.quarantined = true
+		m.mu.Unlock()
+		co.ctrlInc("llmpq_heal_flap_quarantines_total")
+		co.cfg.Logf("worker %s quarantined: %d lease losses exceed the flap tolerance %d", h.Name, flaps, co.cfg.FlapTolerance)
+		return nil, nil, fmt.Sprintf("worker %q is quarantined after %d lease losses", h.Name, flaps), false
+	}
+	var rec *MemberRecord
+	if !tokenOK {
+		// Restarted process: rotate the token so the journal's latest
+		// mint is the live one.
+		co.tokens++
+		m.mu.Lock()
+		m.token = fmt.Sprintf("lease-%d-%s", co.tokens, h.Name)
+		m.proven = false
+		rec = &MemberRecord{Name: h.Name, Token: m.token, Ord: co.tokens}
+		m.mu.Unlock()
+	}
+	m.rejoin()
+	co.ctrlInc("llmpq_heal_rejoins_total")
+	co.cfg.Logf("worker %s rejoined (loss %d of %d tolerated); heal dwell %s starts",
+		h.Name, flaps, co.cfg.FlapTolerance, co.cfg.HealDwell)
+	return m, rec, "", false
 }
 
 // maybeJoined closes the join barrier once the membership is complete
@@ -1225,16 +1578,37 @@ func (co *coordinator) assignStages(p *assigner.Plan, members []*member) {
 	co.mu.Unlock()
 }
 
-// liveMembers returns the not-lost members sorted by name.
+// liveMembers returns the serving members sorted by name — not lost and
+// not parked in the rejoining dwell (a rejoined worker serves no stage
+// until the restore replan promotes it).
 func (co *coordinator) liveMembers() []*member {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	var out []*member
 	for _, m := range co.members {
 		m.mu.Lock()
-		lost := m.lost
+		skip := m.lost || m.rejoining
 		m.mu.Unlock()
-		if !lost {
+		if !skip {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// healedMembers returns rejoined members whose lease has held for the
+// heal dwell, sorted by name.
+func (co *coordinator) healedMembers() []*member {
+	co.mu.Lock()
+	members := make([]*member, 0, len(co.members))
+	for _, m := range co.members {
+		members = append(members, m)
+	}
+	co.mu.Unlock()
+	var out []*member
+	for _, m := range members {
+		if m.healReady(co.cfg.HealDwell) {
 			out = append(out, m)
 		}
 	}

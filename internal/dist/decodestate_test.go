@@ -56,6 +56,11 @@ func TestDecodeStateViolations(t *testing.T) {
 		{"replan without payload", "replan record without payload", enc(plan0(), &Record{Type: RecReplan, Seq: 2})},
 		{"replan without worker", "without a lost worker", enc(plan0(),
 			&Record{Type: RecReplan, Seq: 2, Replan: &ReplanRecord{}})},
+		{"restore without payload", "restore record without payload", enc(plan0(), &Record{Type: RecRestore, Seq: 2})},
+		{"restore without worker", "without a healed worker", enc(plan0(),
+			&Record{Type: RecRestore, Seq: 2, Restore: &RestoreRecord{}})},
+		{"restore before replan", "without a preceding replan", enc(plan0(),
+			&Record{Type: RecRestore, Seq: 2, Restore: &RestoreRecord{HealedWorkers: []string{"w"}}})},
 		{"recover without payload", "recover record without payload", enc(plan0(), &Record{Type: RecRecover, Seq: 2})},
 		{"unknown type", "unknown record type", enc(plan0(), &Record{Type: "bogus", Seq: 2})},
 		{"empty journal", "no plan record", nil},

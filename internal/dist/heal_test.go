@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/assigner"
+	"repro/internal/core/retry"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+)
+
+// TestLostWorkerAdmitFence pins the default fence: once the lease
+// sweeper declares a worker LOST, no hello — not even one carrying the
+// worker's own current rejoin token — reopens the name. The heal path
+// (Config.Rejoin) deliberately relaxes this for flagged rejoins; with
+// rejoin disabled the fence must hold so a run's membership stays
+// closed after loss.
+func TestLostWorkerAdmitFence(t *testing.T) {
+	s := distSpec(t)
+	p := distPlan(t, s)
+	cfg := Config{Workers: 2, Spec: s, Plan: p}
+	co := &coordinator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[string]*member),
+		payload: NewPlanPayload(s, p),
+		joined:  make(chan struct{}),
+	}
+
+	m, rec, rej, _ := co.admit(&Hello{Name: "w"})
+	if rej != "" || m == nil || rec == nil {
+		t.Fatalf("fresh admit failed: %q", rej)
+	}
+	// Prove the worker (token echo), then let the sweeper lose it.
+	if _, _, rej, _ := co.admit(&Hello{Name: "w", Token: rec.Token}); rej != "" {
+		t.Fatalf("token echo rejected: %q", rej)
+	}
+	m.markLost()
+
+	cases := []struct {
+		name  string
+		hello *Hello
+	}{
+		{"own current token", &Hello{Name: "w", Token: rec.Token}},
+		{"token-less restart", &Hello{Name: "w"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, recGot, rej, retryable := co.admit(c.hello)
+			if rej == "" {
+				t.Fatalf("LOST member admitted (member %v, record %v)", got, recGot)
+			}
+			if retryable {
+				t.Error("the fence must be fatal, not retryable")
+			}
+			if !strings.Contains(rej, "lease expired") {
+				t.Errorf("reject %q does not name the expired lease", rej)
+			}
+		})
+	}
+}
+
+// TestRejoinAdmitStateMachine walks the heal half of admit under
+// Config.Rejoin: stale tokens and un-flagged restarts stay fenced,
+// flagged restarts rotate the token and enter REJOINING, the member's
+// own current token reopens the name without rotation, and a flapper
+// past the tolerance is quarantined for good.
+func TestRejoinAdmitStateMachine(t *testing.T) {
+	s := distSpec(t)
+	p := distPlan(t, s)
+	cfg := Config{Workers: 2, Spec: s, Plan: p, Rejoin: true}
+	co := &coordinator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[string]*member),
+		payload: NewPlanPayload(s, p),
+		joined:  make(chan struct{}),
+	}
+	m, rec, rej, _ := co.admit(&Hello{Name: "w"})
+	if rej != "" {
+		t.Fatalf("fresh admit failed: %q", rej)
+	}
+	if _, _, rej, _ := co.admit(&Hello{Name: "w", Token: rec.Token}); rej != "" {
+		t.Fatalf("token echo rejected: %q", rej)
+	}
+	m.markLost() // loss 1
+
+	if _, _, rej, retryable := co.admit(&Hello{Name: "w", Token: "lease-99-w", Rejoin: true}); !strings.Contains(rej, "stale rejoin token") || retryable {
+		t.Errorf("stale token must fence fatally, got %q retryable=%v", rej, retryable)
+	}
+	if _, _, rej, _ := co.admit(&Hello{Name: "w"}); !strings.Contains(rej, "lease expired") {
+		t.Errorf("un-flagged restart must keep the closed-membership fence, got %q", rej)
+	}
+	got, rec2, rej, _ := co.admit(&Hello{Name: "w", Rejoin: true})
+	if rej != "" || got != m {
+		t.Fatalf("flagged restart not re-admitted: %q", rej)
+	}
+	if rec2 == nil || rec2.Token == rec.Token {
+		t.Fatalf("rejoin must rotate the token, got %+v", rec2)
+	}
+	m.mu.Lock()
+	rejoining, lost := m.rejoining, m.lost
+	m.mu.Unlock()
+	if !rejoining || lost {
+		t.Errorf("member should be REJOINING, got rejoining=%v lost=%v", rejoining, lost)
+	}
+
+	// A surviving process back from a partition reopens with its own
+	// current token, no rotation.
+	m.markLost() // loss 2
+	got, rec3, rej, _ := co.admit(&Hello{Name: "w", Token: rec2.Token})
+	if rej != "" || got != m || rec3 != nil {
+		t.Fatalf("tokened rejoin failed: member=%v rec=%v rej=%q", got, rec3, rej)
+	}
+
+	// Loss 3 exceeds the default tolerance of 2: quarantine.
+	m.markLost()
+	if _, _, rej, retryable := co.admit(&Hello{Name: "w", Rejoin: true}); !strings.Contains(rej, "quarantined") || retryable {
+		t.Errorf("third loss must quarantine, got %q retryable=%v", rej, retryable)
+	}
+	// Quarantine is sticky: even the current token no longer opens it.
+	if _, _, rej, _ := co.admit(&Hello{Name: "w", Token: rec2.Token}); !strings.Contains(rej, "quarantined") {
+		t.Errorf("quarantine must survive a tokened retry, got %q", rej)
+	}
+}
+
+// TestRejoinRaceBeforeLeaseExpiry: a heal-capable restart that reconnects
+// before the sweeper's verdict is told to back off (retryable), not
+// fenced out fatally — the restart raced its own lease.
+func TestRejoinRaceBeforeLeaseExpiry(t *testing.T) {
+	s := distSpec(t)
+	p := distPlan(t, s)
+	cfg := Config{Workers: 2, Spec: s, Plan: p, Rejoin: true}
+	co := &coordinator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[string]*member),
+		payload: NewPlanPayload(s, p),
+		joined:  make(chan struct{}),
+	}
+	_, rec, rej, _ := co.admit(&Hello{Name: "w"})
+	if rej != "" {
+		t.Fatalf("fresh admit failed: %q", rej)
+	}
+	if _, _, rej, _ := co.admit(&Hello{Name: "w", Token: rec.Token}); rej != "" {
+		t.Fatalf("token echo rejected: %q", rej)
+	}
+	// The member is proven and detached (no conn was ever attached in
+	// this bare-coordinator test), not yet lost.
+	_, _, rej, retryable := co.admit(&Hello{Name: "w", Rejoin: true})
+	if rej == "" || !retryable {
+		t.Errorf("pre-expiry rejoin should be retryable, got %q retryable=%v", rej, retryable)
+	}
+	// Without the heal flag the collision stays fatal.
+	if _, _, rej, retryable := co.admit(&Hello{Name: "w"}); rej == "" || retryable {
+		t.Errorf("un-flagged name claim must stay fatal, got %q retryable=%v", rej, retryable)
+	}
+}
+
+// TestSeedRecoveredHealResurrects: a journal recording loss → replan →
+// heal → restore seeds the worker back in as a live member (under its
+// rotated token) instead of pre-marking it lost, and adopts the restored
+// epoch as current.
+func TestSeedRecoveredHealResurrects(t *testing.T) {
+	s := distSpec(t)
+	p := distPlan(t, s)
+	payload := NewPlanPayload(s, p)
+	enc := func(recs ...*Record) [][]byte {
+		out := make([][]byte, len(recs))
+		for i, r := range recs {
+			r.Seq = i + 1
+			buf, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf
+		}
+		return out
+	}
+	st, err := DecodeState(enc(
+		&Record{Type: RecPlan, Plan: &PlanRecord{Epoch: 0, Reason: "initial", Payload: payload}},
+		&Record{Type: RecMember, Member: &MemberRecord{Name: "worker-a", Token: "lease-1-worker-a", Ord: 1}},
+		&Record{Type: RecMember, Member: &MemberRecord{Name: "worker-b", Token: "lease-2-worker-b", Ord: 2}},
+		&Record{Type: RecReplan, Replan: &ReplanRecord{LostWorker: "worker-b", Watermark: 2, StartRound: 2}},
+		&Record{Type: RecPlan, Plan: &PlanRecord{Epoch: 1, Reason: "replan", Payload: payload, StartRound: 2, DurableTokens: 16}},
+		&Record{Type: RecMember, Member: &MemberRecord{Name: "worker-b", Token: "lease-3-worker-b", Ord: 3}},
+		&Record{Type: RecRestore, Restore: &RestoreRecord{HealedWorkers: []string{"worker-b"}, Watermark: 6, StartRound: 6}},
+		&Record{Type: RecPlan, Plan: &PlanRecord{Epoch: 2, Reason: "restore", Payload: payload, StartRound: 6, DurableTokens: 48}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Restores) != 1 || st.Restores[0].HealedWorkers[0] != "worker-b" {
+		t.Fatalf("restores not decoded: %+v", st.Restores)
+	}
+	cfg := Config{Workers: 2, Spec: s, Plan: p, Rejoin: true}
+	co := &coordinator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[string]*member),
+		payload: NewPlanPayload(s, p),
+		joined:  make(chan struct{}),
+	}
+	if err := co.seedRecovered(st); err != nil {
+		t.Fatal(err)
+	}
+	b := co.members["worker-b"]
+	if b == nil {
+		t.Fatal("worker-b missing from the recovered membership")
+	}
+	b.mu.Lock()
+	lost, token := b.lost, b.token
+	b.mu.Unlock()
+	if lost {
+		t.Error("the journaled heal must resurrect worker-b")
+	}
+	if token != "lease-3-worker-b" {
+		t.Errorf("worker-b token %q, want the rotated lease-3-worker-b", token)
+	}
+	if co.epoch != 2 || co.startRound != 6 || co.baseDurable != 48 {
+		t.Errorf("current epoch %d/%d/%d, want restored 2/6/48", co.epoch, co.startRound, co.baseDurable)
+	}
+}
+
+// TestWorkerRejoinHeal is the dist heal acceptance scenario: worker-b is
+// killed mid-decode, its lease expires, the fleet replans degraded; a
+// restarted worker-b presents its name with the rejoin flag, holds its
+// lease through the dwell, and the coordinator halts the degraded run,
+// replans back onto the full cluster — returning to exactly the
+// pre-loss plan — and finishes there with every token conserved.
+func TestWorkerRejoinHeal(t *testing.T) {
+	s := distSpec(t)
+	s.Work.Generate = 32 // enough decode runway for the heal to land mid-run
+	p := distPlan(t, s)
+	clean, err := (&rt.Engine{Spec: s, Plan: p, Timer: assigner.ProfilerTimer{}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := (s.Work.GlobalBatch + p.PrefillMB - 1) / p.PrefillMB
+	kd := (s.Work.GlobalBatch + p.DecodeMB - 1) / p.DecodeMB
+	reg := obs.NewRegistry()
+	ctrl := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ln := listen(t)
+
+	pace := 20 * time.Millisecond
+	// The restart's backoff must beat the degraded run: tight cadence so
+	// the rejoin lands within the decode runway.
+	pol := retry.Policy{MaxAttempts: 60, BaseDelaySec: 0.02, Factor: 1.3, MaxDelaySec: 0.1, JitterFrac: 0.2}
+	var wg sync.WaitGroup
+	var aErr, bErr1, bErr2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		aErr = RunWorker(ctx, WorkerConfig{
+			Name: "worker-a", Connect: ln.Addr().String(), Hold: pace, RetrySeed: 100,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		// First incarnation dies mid-decode; the second presents the same
+		// name token-less with the rejoin flag — a restarted process.
+		bErr1 = RunWorker(ctx, WorkerConfig{
+			Name: "worker-b", Connect: ln.Addr().String(), Hold: pace, RetrySeed: 101,
+			FailAfterCalls: kp + kd,
+		})
+		bErr2 = RunWorker(ctx, WorkerConfig{
+			Name: "worker-b", Connect: ln.Addr().String(), Hold: pace, RetrySeed: 102,
+			Rejoin: true, Retry: pol,
+		})
+	}()
+
+	res, err := Serve(ctx, Config{
+		Listener: ln, Workers: 2, Spec: s, Plan: p,
+		Heartbeat: 50 * time.Millisecond, Lease: 400 * time.Millisecond,
+		Rejoin: true, HealDwell: 50 * time.Millisecond,
+		Obs: reg, CtrlObs: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replanned || res.LostWorker != "worker-b" {
+		t.Fatalf("expected worker-b loss+replan, got replanned=%v lost=%q", res.Replanned, res.LostWorker)
+	}
+	if !res.Restored {
+		t.Fatal("the rejoined worker never healed back in")
+	}
+	if !reflect.DeepEqual(res.HealedWorkers, []string{"worker-b"}) {
+		t.Errorf("healed workers %v, want [worker-b]", res.HealedWorkers)
+	}
+	if res.RestoreHalt == nil || res.RestoreHalt.Watermark < res.Lost.Watermark {
+		t.Errorf("restore halt %+v must not regress the loss watermark %d", res.RestoreHalt, res.Lost.Watermark)
+	}
+	// The warm-started restore solve returns to exactly the pre-loss plan.
+	if !reflect.DeepEqual(res.RestoredPlan, p) {
+		t.Errorf("restore did not return to the pre-loss plan:\nrestored: %+v\noriginal: %+v", res.RestoredPlan, p)
+	}
+	if res.TotalTokens != clean.TokensOut {
+		t.Errorf("token conservation violated: %d vs clean %d", res.TotalTokens, clean.TokensOut)
+	}
+	if res.Final.TokensOut <= 0 {
+		t.Error("the restored plan generated nothing")
+	}
+	var sim bytes.Buffer
+	if err := reg.WriteText(&sim); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"llmpq_failover_restore_total 1", "llmpq_heal_device_returns_total 1"} {
+		if !strings.Contains(sim.String(), want) {
+			t.Errorf("sim metrics missing %q:\n%s", want, sim.String())
+		}
+	}
+	if got := ctrl.Counter("llmpq_heal_rejoins_total").Value(); got < 1 {
+		t.Errorf("ctrl rejoin counter %.0f, want >= 1", got)
+	}
+	wg.Wait()
+	if aErr != nil {
+		t.Errorf("worker-a exit: %v", aErr)
+	}
+	if !errors.Is(bErr1, ErrInjectedDeath) {
+		t.Errorf("worker-b first incarnation should die injected, got %v", bErr1)
+	}
+	if bErr2 != nil {
+		t.Errorf("worker-b rejoin exit: %v", bErr2)
+	}
+}

@@ -29,6 +29,10 @@ const (
 	// RecReplan records a worker loss and the ReplanMulti outcome; the
 	// next record is the degraded RecPlan.
 	RecReplan RecordType = "replan"
+	// RecRestore records a heal: the lost worker rejoined, held its
+	// lease for the dwell, and the fleet replanned capacity back; the
+	// next record is the restored RecPlan.
+	RecRestore RecordType = "restore"
 	// RecRecover marks a recovery boundary: a restarted coordinator
 	// replayed everything before it.
 	RecRecover RecordType = "recover"
@@ -48,6 +52,7 @@ type Record struct {
 	Member  *MemberRecord  `json:"member,omitempty"`
 	Round   *RoundRecord   `json:"round,omitempty"`
 	Replan  *ReplanRecord  `json:"replan,omitempty"`
+	Restore *RestoreRecord `json:"restore,omitempty"`
 	Recover *RecoverRecord `json:"recover,omitempty"`
 }
 
@@ -112,6 +117,22 @@ type ReplanRecord struct {
 	StartRound    int                         `json:"start_round"`
 }
 
+// RestoreRecord is one heal: the restore halt the engine surfaced plus
+// the ReplanRestore outcome. Like the loss, the heal instant is
+// wall-clock dependent (a dwell expiry after a rejoin), so it is
+// journaled write-ahead before any worker acts on the restored plan.
+type RestoreRecord struct {
+	HealedWorkers   []string                     `json:"healed_workers"`
+	ReturnedDevices []string                     `json:"returned_devices,omitempty"`
+	AtSec           float64                      `json:"at_sec"`
+	Watermark       int                          `json:"watermark"`
+	DurableTokens   int                          `json:"durable_tokens"`
+	PrefillDone     bool                         `json:"prefill_done"`
+	MovedLayers     int                          `json:"moved_layers"`
+	Migration       costmodel.MigrationBreakdown `json:"migration"`
+	StartRound      int                          `json:"start_round"`
+}
+
 // RecoverRecord marks a recovery boundary.
 type RecoverRecord struct {
 	Replayed  int   `json:"replayed"`
@@ -129,6 +150,8 @@ type RecoveredState struct {
 	LastRound *RoundRecord
 	// Replans holds every healed worker loss in order.
 	Replans []*ReplanRecord
+	// Restores holds every heal (capacity-restoring replan) in order.
+	Restores []*RestoreRecord
 	// Done reports the journal ends in RecDone — nothing to recover.
 	Done bool
 	// Records is the replayed record count; the next append is seq
@@ -221,6 +244,18 @@ func DecodeState(records [][]byte) (*RecoveredState, error) {
 				return nil, corrupt(i, "replan record without a lost worker")
 			}
 			st.Replans = append(st.Replans, r)
+		case RecRestore:
+			r := rec.Restore
+			if r == nil {
+				return nil, corrupt(i, "restore record without payload")
+			}
+			if len(r.HealedWorkers) == 0 {
+				return nil, corrupt(i, "restore record without a healed worker")
+			}
+			if len(st.Replans) <= len(st.Restores) {
+				return nil, corrupt(i, "restore record without a preceding replan")
+			}
+			st.Restores = append(st.Restores, r)
 		case RecRecover:
 			if rec.Recover == nil {
 				return nil, corrupt(i, "recover record without payload")

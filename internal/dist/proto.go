@@ -83,6 +83,13 @@ type Hello struct {
 	// the welcome handed out, proving the worker is the same process
 	// reattaching rather than a name squatter.
 	Token string `json:"token,omitempty"`
+	// Rejoin asks the coordinator to re-admit this name even if its
+	// lease already expired — the heal handshake. Honored only when the
+	// coordinator runs with Config.Rejoin; a token-less rejoin is a
+	// restarted process reclaiming its name, a tokened one a surviving
+	// process returning from a long partition. Stale tokens stay fenced
+	// either way.
+	Rejoin bool `json:"rejoin,omitempty"`
 }
 
 // Welcome admits a worker and states the membership terms.

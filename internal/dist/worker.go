@@ -31,6 +31,11 @@ type WorkerConfig struct {
 	// connection and return an error) after that many evaluations — the
 	// test hook for lease-expiry failover without killing a process.
 	FailAfterCalls int
+	// Rejoin marks every hello as a heal-capable rejoin: a coordinator
+	// running with Config.Rejoin re-admits this name even after its
+	// lease expired (a SIGKILLed worker restarted under the same name),
+	// instead of fencing it out of the closed membership.
+	Rejoin bool
 	// CtrlObs receives control-plane metrics (reconnects, heartbeats
 	// sent, deadline aborts); wall-clock-dependent, never byte-diffed.
 	// The name carries the role: the registrysplit analyzer keys the
@@ -117,7 +122,7 @@ func (ws *workerState) connect(ctx context.Context) (*session, error) {
 			return err
 		}
 		w := newWire(c, ws.cfg.CtrlObs)
-		hello := &Hello{Version: ProtocolVersion, Name: ws.cfg.Name, Token: ws.token}
+		hello := &Hello{Version: ProtocolVersion, Name: ws.cfg.Name, Token: ws.token, Rejoin: ws.cfg.Rejoin}
 		if err := w.send(&Message{Type: MsgHello, Hello: hello}); err != nil {
 			w.close()
 			return err

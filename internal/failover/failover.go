@@ -48,6 +48,22 @@ const (
 	// families above it is wall-clock-dependent, so it lands on a control
 	// registry only (simctrl.manifest pins it ctrl by exact name).
 	metricReplanSeconds = "llmpq_failover_replan_seconds"
+
+	// The restore (heal) half of the loop: a capacity-restoring replan
+	// back onto returned devices. Same sim/ctrl split as the shrink
+	// families above.
+	metricRestores            = "llmpq_failover_restore_total"
+	metricRestoredDevices     = "llmpq_failover_restored_devices"
+	metricRestoreMovedLayers  = "llmpq_failover_restore_moved_layers"
+	metricRestoreMigrationB   = "llmpq_failover_restore_migration_bytes"
+	metricRestoreMigrationSec = "llmpq_failover_restore_migration_seconds"
+	metricRestoreResumeRound  = "llmpq_failover_restore_resume_round"
+	// metricRestoreSeconds mirrors metricReplanSeconds for the restore
+	// solve (ctrl by exact name in simctrl.manifest).
+	metricRestoreSeconds = "llmpq_failover_restore_seconds"
+	// Heal-policy counters (sim: both derive from the schedule alone).
+	metricHealReturns     = "llmpq_heal_device_returns_total"
+	metricHealQuarantined = "llmpq_heal_quarantined_total"
 )
 
 // Report summarizes one fault-tolerant serving run.
@@ -76,8 +92,30 @@ type Report struct {
 	// at the loss plus the resumed run's output. Equals the no-fault
 	// run's TokensOut — nothing is lost, nothing is double-counted.
 	TotalTokens int
-	// TotalLatencySec = loss time + migration transfer + resumed latency.
+	// TotalLatencySec = loss time + migration transfer + resumed latency
+	// (plus, when Restored, the restore halt, migration-back, and final
+	// run).
 	TotalLatencySec float64
+
+	// Restored is true when the lost device healed and a
+	// capacity-restoring replan brought it back mid-run.
+	Restored bool
+	// RestoreHalt is the voluntary halt that triggered the restore (nil
+	// when !Restored).
+	RestoreHalt *rt.RestoreHaltError
+	// RestoredPlan is the plan solved on the re-expanded cluster.
+	RestoredPlan *assigner.Plan
+	// RestoreMovedLayers counts layers migrated back onto returned
+	// devices; RestoreMigration itemizes the cost.
+	RestoreMovedLayers int
+	RestoreMigration   costmodel.MigrationBreakdown
+	// Final is the run that finished on the restored plan (zero unless
+	// Restored).
+	Final rt.Stats
+	// Quarantined is true when the healed device flapped past the
+	// controller's tolerance and was deliberately NOT replanned back in;
+	// the run finished degraded.
+	Quarantined bool
 }
 
 // ReplanFailedError reports that a device loss could not be healed — the
@@ -285,6 +323,128 @@ func SurvivorIncumbent(plan *assigner.Plan, oldID []int, degraded *assigner.Spec
 	return inc
 }
 
+// RestoreOutcome is one computed capacity-restoring replan: the
+// re-expanded spec and plan, the migrate-back bill, and where to resume.
+// The restore mirror of Outcome.
+type RestoreOutcome struct {
+	// Restored is a copy of the original spec on the re-expanded cluster
+	// (the full original cluster when every lost device returned).
+	Restored *assigner.Spec
+	// Plan is the plan Optimize produced on the re-expanded cluster.
+	Plan *assigner.Plan
+	// OldID maps the re-expanded cluster's device IDs back to original
+	// IDs (identity for a full restore).
+	OldID []int
+	// RestoredDevices names the physical devices replanned back in.
+	RestoredDevices []string
+	// MovedLayers counts layers whose physical home changed moving off
+	// the degraded plan; Migration itemizes the re-shipping cost.
+	MovedLayers int
+	Migration   costmodel.MigrationBreakdown
+	// StartRound / DurableTokens carry the restore halt's watermark into
+	// the resumed run (absolute rounds — token conservation holds across
+	// any number of hops).
+	StartRound    int
+	DurableTokens int
+}
+
+// ReplanRestore closes the heal half of the failover loop: devices lost
+// to the shrink replan have returned, so re-solve on the re-expanded
+// cluster and price migrating layers and resident KV state back onto
+// them. spec/plan are the ORIGINAL pre-loss spec and plan; degraded is
+// the shrink outcome currently serving; halt carries the watermark the
+// restored run resumes from; stillLost lists original-cluster device IDs
+// that have NOT returned (empty = full restore). A full restore
+// warm-starts with the original plan as incumbent — exactly feasible on
+// the original cluster — so the fleet replans back to (or strictly
+// toward) the pre-loss plan; partial restores rely on the solve cache
+// alone. Infeasibility (impossible on a superset of a cluster that
+// already served) surfaces as an error; callers typically keep the
+// degraded plan in that case.
+func ReplanRestore(spec *assigner.Spec, plan *assigner.Plan, timer assigner.LayerTimer, degraded *Outcome, halt *rt.RestoreHaltError, stillLost []int, reg, ctrlReg *obs.Registry, spans *obs.SpanRecorder) (*RestoreOutcome, error) {
+	restoreStart := time.Now() //llmpq:allow(simwallclock): restore latency is reported on the control registry only; the restored plan is independent of it
+	if degraded == nil || degraded.Plan == nil {
+		return nil, fmt.Errorf("failover: restore without a degraded outcome to restore from")
+	}
+	if halt == nil {
+		return nil, fmt.Errorf("failover: restore without a halt watermark")
+	}
+	cluster := spec.Cluster
+	var oldID []int
+	if len(stillLost) > 0 {
+		var err error
+		cluster, oldID, err = removeDevices(spec.Cluster, stillLost)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		oldID = make([]int, len(spec.Cluster.Devices))
+		for i := range oldID {
+			oldID[i] = i
+		}
+	}
+	restored := *spec
+	restored.Cluster = cluster
+	if len(stillLost) == 0 {
+		// Full restore: the pre-loss plan is exactly feasible again, so it
+		// both warm-prunes the solve and guarantees the outcome is at
+		// least as good as what the fleet ran before the loss.
+		restored.Incumbent = plan
+	}
+	res, err := assigner.Optimize(&restored, timer)
+	restored.Incumbent = nil
+	if err != nil {
+		return nil, fmt.Errorf("failover: no feasible restored plan on %d devices: %w", cluster.NumDevices(), err)
+	}
+	out := &RestoreOutcome{Restored: &restored, Plan: res.Plan, OldID: oldID}
+
+	// Devices present now but absent from the degraded cluster are the
+	// ones that returned.
+	had := make(map[int]bool, len(degraded.OldID))
+	for _, id := range degraded.OldID {
+		had[id] = true
+	}
+	for _, id := range oldID {
+		if !had[id] {
+			out.RestoredDevices = append(out.RestoredDevices, spec.Cluster.Devices[id].GPU.Name)
+		}
+	}
+
+	// Migrate-back bill: diff physical layer homes degraded → restored
+	// (both in original-cluster IDs), shipping quantized weights at the
+	// restored plan's precision plus resident KV up to the watermark.
+	oldHome := layerHomes(degraded.Plan, spec.Cfg.Layers, degraded.OldID)
+	newHome := layerHomes(res.Plan, spec.Cfg.Layers, oldID)
+	newBits := res.Plan.LayerBits(spec.Cfg.Layers)
+	var movedBits []int
+	for l := 0; l < spec.Cfg.Layers; l++ {
+		if newHome[l] != oldHome[l] {
+			movedBits = append(movedBits, newBits[l])
+		}
+	}
+	out.MovedLayers = len(movedBits)
+	kvSeq := 0
+	if halt.PrefillDone {
+		kvSeq = spec.Work.Prompt + halt.Watermark
+		out.StartRound = halt.Watermark
+		out.DurableTokens = halt.DurableTokens
+	}
+	out.Migration, err = costmodel.MigrationCost(costmodel.MigrationInput{
+		Cfg: spec.Cfg, MovedLayerBits: movedBits, GlobalBatch: spec.Work.GlobalBatch,
+		KVSeqLen: kvSeq, KVBits: spec.KVBits, Link: spec.Cluster.InterNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	observeRestore(reg, spans, halt, out)
+	spec.Cache.Export(reg)
+	if ctrlReg != nil {
+		//llmpq:allow(simwallclock): wall-clock observation on the control registry only
+		ctrlReg.Histogram(metricRestoreSeconds, obs.TimeBuckets()).Observe(time.Since(restoreStart).Seconds())
+	}
+	return out, nil
+}
+
 // observeReplan exports the llmpq_failover_* metrics and the migration
 // span for one computed replan.
 func observeReplan(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.DeviceLostError, out *Outcome) {
@@ -323,6 +483,45 @@ func ObserveReplayed(reg *obs.Registry, spans *obs.SpanRecorder, lost *rt.Device
 	})
 }
 
+// observeRestore exports the llmpq_failover_restore_* and llmpq_heal_*
+// metrics and the migrate-back span for one computed restore.
+func observeRestore(reg *obs.Registry, spans *obs.SpanRecorder, halt *rt.RestoreHaltError, out *RestoreOutcome) {
+	if reg != nil {
+		reg.Counter(metricRestores).Inc()
+		reg.Gauge(metricRestoredDevices).Set(float64(len(out.RestoredDevices)))
+		reg.Gauge(metricRestoreMovedLayers).Set(float64(out.MovedLayers))
+		reg.Gauge(metricRestoreMigrationB).Set(out.Migration.TotalBytes)
+		reg.Gauge(metricRestoreMigrationSec).Set(out.Migration.TransferSec)
+		reg.Gauge(metricRestoreResumeRound).Set(float64(out.StartRound))
+		for range out.RestoredDevices {
+			reg.Counter(metricHealReturns).Inc()
+		}
+	}
+	if spans != nil {
+		spans.Record(obs.Span{
+			Name: "migrate-back", Cat: "failover", TID: 0,
+			Start: halt.AtSec, Dur: out.Migration.TransferSec,
+			Args: map[string]string{
+				"moved_layers": fmt.Sprintf("%d", out.MovedLayers),
+				"bytes":        fmt.Sprintf("%.0f", out.Migration.TotalBytes),
+			},
+		})
+	}
+}
+
+// ObserveRestoreReplayed re-exports the restore families and the
+// migrate-back span for a restore that already happened — the
+// journal-recovery mirror of ObserveReplayed.
+func ObserveRestoreReplayed(reg *obs.Registry, spans *obs.SpanRecorder, halt *rt.RestoreHaltError,
+	restoredDevices []string, movedLayers int, migration costmodel.MigrationBreakdown, startRound int) {
+	observeRestore(reg, spans, halt, &RestoreOutcome{
+		RestoredDevices: restoredDevices,
+		MovedLayers:     movedLayers,
+		Migration:       migration,
+		StartRound:      startRound,
+	})
+}
+
 // Controller reacts to permanent device loss by replanning on the
 // reduced cluster and resuming from the completed-token watermark.
 type Controller struct {
@@ -340,11 +539,51 @@ type Controller struct {
 	// replan latency depends on the host, so it must never land in the
 	// byte-diffed sim registry.
 	CtrlObs *obs.Registry
+	// HealDwellSec is the lease-stability dwell a returned device must
+	// hold before the capacity-restoring replan fires: the restore halt
+	// is scheduled that long after the fault's heal instant, so a device
+	// about to flap again never triggers a migrate-back it immediately
+	// invalidates. 0 restores as soon as the device returns.
+	HealDwellSec float64
+	// FlapTolerance caps how many loss/rejoin cycles a healing device may
+	// take before it is quarantined — the run finishes on the degraded
+	// plan and Report.Quarantined is set. 0 means the default of 2.
+	FlapTolerance int
+}
+
+// flapTolerance resolves the quarantine threshold.
+func (c *Controller) flapTolerance() int {
+	if c.FlapTolerance > 0 {
+		return c.FlapTolerance
+	}
+	return 2
+}
+
+// healFault returns the schedule's permanent crash when it carries a
+// heal schedule (RecoverAfterSec > 0), nil otherwise.
+func healFault(sched *chaos.Schedule) *chaos.Fault {
+	if sched == nil {
+		return nil
+	}
+	for i := range sched.Faults {
+		f := &sched.Faults[i]
+		if f.Kind == chaos.KindCrash && f.Permanent && f.RecoverAfterSec > 0 {
+			return f
+		}
+	}
+	return nil
 }
 
 // Run executes the pipeline under the chaos schedule, self-healing
 // through at most one permanent device loss (chaos.Schedule.Validate
-// enforces the at-most-one invariant).
+// enforces the at-most-one invariant). When the schedule heals the loss
+// (Fault.RecoverAfterSec) and the device's flap count stays under
+// FlapTolerance, the degraded run voluntarily halts once the returned
+// device has held a stable lease for HealDwellSec and a
+// capacity-restoring replan (ReplanRestore) finishes the job on the
+// re-expanded cluster; a flappier device is quarantined and the run
+// finishes degraded. Every branch is deterministic: same spec, plan, and
+// schedule reproduce the same report byte-for-byte.
 func (c *Controller) Run(sched *chaos.Schedule) (Report, error) {
 	eng := &rt.Engine{Spec: c.Spec, Plan: c.Plan, Timer: c.Timer, Chaos: sched, Obs: c.Obs, Spans: c.Spans}
 	stats, err := eng.Run()
@@ -355,12 +594,13 @@ func (c *Controller) Run(sched *chaos.Schedule) (Report, error) {
 	if !errors.As(err, &lost) {
 		return Report{}, err
 	}
-	return c.replan(lost)
+	return c.replan(sched, lost)
 }
 
 // replan rebuilds the pipeline after a permanent device loss and resumes
-// it from the watermark.
-func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
+// it from the watermark, arming the restore halt when the schedule heals
+// the loss.
+func (c *Controller) replan(sched *chaos.Schedule, lost *rt.DeviceLostError) (Report, error) {
 	rep := Report{Replanned: true, Lost: lost}
 	out, err := Replan(c.Spec, c.Plan, c.Timer, lost, c.Obs, c.CtrlObs, c.Spans)
 	if err != nil {
@@ -372,12 +612,66 @@ func (c *Controller) replan(lost *rt.DeviceLostError) (Report, error) {
 	rep.Migration = out.Migration
 
 	eng := &rt.Engine{Spec: out.Degraded, Plan: out.Plan, Timer: c.Timer, StartRound: out.StartRound, Obs: c.Obs, Spans: c.Spans}
+	if heal := healFault(sched); heal != nil {
+		if heal.Flaps >= c.flapTolerance() {
+			// Flap damping: the device keeps bouncing; replanning it back
+			// in would trade a migrate-back bill for capacity about to
+			// vanish again. Serve the rest of the run degraded.
+			rep.Quarantined = true
+			if c.Obs != nil {
+				c.Obs.Counter(metricHealQuarantined).Inc()
+			}
+		} else {
+			// The device stabilizes RecoverAfterSec after each loss, flaps
+			// included, then must hold its lease for the dwell. The resumed
+			// run's clock starts after the loss and the migration window,
+			// so shift the stability instant into resumed-run time (clamped
+			// to epsilon: a heal already stable when the resumed run starts
+			// restores immediately).
+			at := heal.RecoverAfterSec*float64(1+heal.Flaps) + c.HealDwellSec - rep.Migration.TransferSec
+			if at < 1e-9 {
+				at = 1e-9
+			}
+			eng.RestoreAtSec = at
+		}
+	}
 	rep.Resumed, err = eng.Run()
 	if err != nil {
-		return Report{}, fmt.Errorf("failover: resumed run failed: %w", err)
+		var halt *rt.RestoreHaltError
+		if !errors.As(err, &halt) {
+			return Report{}, fmt.Errorf("failover: resumed run failed: %w", err)
+		}
+		return c.restore(rep, out, halt)
 	}
 	rep.TotalTokens = out.DurableTokens + rep.Resumed.TokensOut
 	rep.TotalLatencySec = lost.AtSec + rep.Migration.TransferSec + rep.Resumed.LatencySec
+	return rep, nil
+}
+
+// restore finishes a degraded run that halted for a capacity-restoring
+// replan: re-solve on the full original cluster, migrate back, and run
+// from the halt watermark to completion.
+func (c *Controller) restore(rep Report, degraded *Outcome, halt *rt.RestoreHaltError) (Report, error) {
+	out, err := ReplanRestore(c.Spec, c.Plan, c.Timer, degraded, halt, nil, c.Obs, c.CtrlObs, c.Spans)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Restored = true
+	rep.RestoreHalt = halt
+	rep.RestoredPlan = out.Plan
+	rep.RestoreMovedLayers = out.MovedLayers
+	rep.RestoreMigration = out.Migration
+
+	eng := &rt.Engine{Spec: out.Restored, Plan: out.Plan, Timer: c.Timer, StartRound: out.StartRound, Obs: c.Obs, Spans: c.Spans}
+	rep.Final, err = eng.Run()
+	if err != nil {
+		return Report{}, fmt.Errorf("failover: restored run failed: %w", err)
+	}
+	// The halt watermark is absolute (resumed runs carry rounds forward),
+	// so DurableTokens already folds in everything generated before and
+	// after the loss.
+	rep.TotalTokens = out.DurableTokens + rep.Final.TokensOut
+	rep.TotalLatencySec = rep.Lost.AtSec + rep.Migration.TransferSec + halt.AtSec + out.Migration.TransferSec + rep.Final.LatencySec
 	return rep, nil
 }
 

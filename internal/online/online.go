@@ -53,6 +53,7 @@ const (
 	metricKVRetries  = "llmpq_online_kv_retries_total"
 	metricShed       = "llmpq_online_shed_total"
 	metricDownshifts = "llmpq_online_downshifts_total"
+	metricUpshifts   = "llmpq_online_upshifts_total"
 	metricBits       = "llmpq_online_bits"
 )
 
@@ -71,6 +72,7 @@ type onlineObs struct {
 	kvRetries  *obs.Counter
 	shedTotal  *obs.Counter
 	downshifts *obs.Counter
+	upshifts   *obs.Counter
 	bitsGauge  *obs.Gauge
 }
 
@@ -93,6 +95,7 @@ func newOnlineObs(r *obs.Registry, bits int, kvTokens int) *onlineObs {
 		kvRetries:  r.Counter(metricKVRetries, bl),
 		shedTotal:  r.Counter(metricShed, bl),
 		downshifts: r.Counter(metricDownshifts, bl),
+		upshifts:   r.Counter(metricUpshifts, bl),
 		bitsGauge:  r.Gauge(metricBits),
 	}
 	o.kvCap.Set(float64(kvTokens))
@@ -169,6 +172,16 @@ func (o *onlineObs) downshift(bits, kvTokens int) {
 	o.kvCap.Set(float64(kvTokens))
 }
 
+// upshift records a weight-precision recovery step once pressure eases.
+func (o *onlineObs) upshift(bits, kvTokens int) {
+	if o == nil {
+		return
+	}
+	o.upshifts.Inc()
+	o.bitsGauge.Set(float64(bits))
+	o.kvCap.Set(float64(kvTokens))
+}
+
 // Hooks are the engine's per-request lifecycle callbacks, the admission
 // surface an external front end builds on. All hooks run synchronously
 // inside Submit/StepOnce on the caller's goroutine and must not block:
@@ -227,6 +240,14 @@ type Config struct {
 	// growing the pool at a one-off requantization stall (§7 trade-off,
 	// inverted: spend kernel speed to buy KV memory).
 	Downshift bool
+	// Upshift enables the inverse recovery path: once pool occupancy has
+	// stayed below the 60% low-watermark with nothing waiting for a
+	// dwell of upshiftAfter consecutive steps, precision climbs one step
+	// back toward the configured Bits (same one-off requantization
+	// stall; a step the resident KV no longer fits under is refused).
+	// The dwell is twice the downshift window, so the two state machines
+	// hysterese rather than oscillate. Requires Downshift.
+	Upshift bool
 	// Hooks receive per-request lifecycle events (admission, each decoded
 	// token, completion, shedding). The zero value observes nothing and
 	// changes nothing: hook invocation never alters the simulation.
@@ -273,6 +294,9 @@ func (c Config) validateServing() error {
 	if c.ShedDepth < 0 {
 		return fmt.Errorf("online: negative shed depth %d", c.ShedDepth)
 	}
+	if c.Upshift && !c.Downshift {
+		return fmt.Errorf("online: upshift without downshift — there is no degradation to recover from")
+	}
 	if c.Chaos != nil {
 		// The online simulator is single-stage; only stage-0 (and
 		// stage-free KV) faults make sense.
@@ -312,6 +336,7 @@ type Stats struct {
 	KVFailures int // transient KV-allocation failures observed
 	KVRetries  int // retries spent recovering from them
 	Downshifts int // bitwidth drops under sustained memory pressure
+	Upshifts   int // bitwidth recovery steps once pressure eased
 	FinalBits  int // weight precision at simulation end
 	FinalKVTok int // KV capacity at simulation end (grows on downshift)
 }
@@ -389,6 +414,8 @@ type Engine struct {
 	usedTok      int
 	now          float64
 	hot          int
+	cool         int // consecutive low-occupancy steps toward an upshift
+	floorBits    int // deepest precision reached (healing indicator)
 	steps        int
 	nextID       int
 	st           Stats
@@ -419,7 +446,7 @@ func newEngine(c Config) (*Engine, error) {
 		work := 0.08 * c.GPU.MemoryBytes() // activations + allocator slack
 		return weights, int((c.GPU.MemoryBytes() - weights - work) / perTok)
 	}
-	e := &Engine{cfg: c, policy: c.retryPolicy(), bits: c.Bits, poolFor: poolFor}
+	e := &Engine{cfg: c, policy: c.retryPolicy(), bits: c.Bits, floorBits: c.Bits, poolFor: poolFor}
 	e.weights, e.kvTokens = poolFor(e.bits)
 	if e.kvTokens <= 0 {
 		return nil, fmt.Errorf("online: %s at %d-bit leaves no KV memory on %s", c.Model.Name, c.Bits, c.GPU.Name)
@@ -643,6 +670,11 @@ func (e *Engine) waitingNow() int {
 // Sustained-pressure window before a precision downshift fires.
 const downshiftAfter = 25
 
+// Sustained-calm window before a precision upshift fires: twice the
+// downshift window, so recovery needs strictly more evidence than
+// degradation and the two never oscillate on a borderline load.
+const upshiftAfter = 2 * downshiftAfter
+
 // step runs one continuous-batching decode step: every running request
 // produces one token; completions release pages; sustained KV pressure
 // may downshift the precision; then the queue is re-shed and re-admitted.
@@ -703,6 +735,38 @@ func (e *Engine) step() error {
 			e.now += (old + e.weights) / (e.cfg.GPU.BandwidthGBs * 1e9)
 			e.oo.downshift(e.bits, e.kvTokens)
 			e.hot = 0
+			// A fresh drop resets recovery evidence and deepens the floor.
+			e.cool = 0
+			if e.bits < e.floorBits {
+				e.floorBits = e.bits
+			}
+		}
+	}
+	// The inverse path: sustained calm — pool comfortably under the low
+	// watermark, nobody waiting — earns one step back up the ladder. The
+	// pool-shrink guard refuses a step the resident KV no longer fits
+	// under; evidence resets either way, so a refused step is re-earned
+	// only after another full dwell (by then completions may have freed
+	// the pool).
+	if e.cfg.Upshift && e.bits < e.cfg.Bits {
+		if e.usedTok*10 < e.kvTokens*6 && e.waitingNow() == 0 {
+			e.cool++
+		} else {
+			e.cool = 0
+		}
+		if e.cool >= upshiftAfter {
+			next := upshiftStep(e.bits)
+			if w, kv := e.poolFor(next); kv >= e.usedTok && kv > 0 {
+				old := e.weights
+				e.bits = next
+				e.st.Upshifts++
+				e.weights, e.kvTokens = w, kv
+				// Same requantization stall as the downshift: the weight
+				// copy streams through HBM in both directions.
+				e.now += (old + e.weights) / (e.cfg.GPU.BandwidthGBs * 1e9)
+				e.oo.upshift(e.bits, e.kvTokens)
+			}
+			e.cool = 0
 		}
 	}
 	e.shedExcess()
@@ -826,6 +890,37 @@ func downshiftStep(bits int) int {
 	default:
 		return 3
 	}
+}
+
+// upshiftStep is the same ladder climbed back up: 3→4→8→16. Stepping
+// from any point below the configured precision never overshoots it,
+// because the configured precision sits on the same ladder.
+func upshiftStep(bits int) int {
+	switch bits {
+	case 3:
+		return 4
+	case 4:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// DegradationTier reports how many precision steps below the configured
+// bitwidth the engine currently serves at (0 = full precision). Front
+// doors surface it in health probes.
+func (e *Engine) DegradationTier() int {
+	tier := 0
+	for b := e.cfg.Bits; b > e.bits; b = downshiftStep(b) {
+		tier++
+	}
+	return tier
+}
+
+// Healing reports whether the engine has climbed at least one step back
+// from its deepest downshift but has not yet reached full precision.
+func (e *Engine) Healing() bool {
+	return e.bits < e.cfg.Bits && e.bits > e.floorBits
 }
 
 // SweepPoint is one (bits, arrival) measurement.

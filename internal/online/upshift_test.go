@@ -1,0 +1,169 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// TestUpshiftStepLadder pins the recovery ladder as the exact inverse of
+// the fallback ladder.
+func TestUpshiftStepLadder(t *testing.T) {
+	steps := map[int]int{3: 4, 4: 8, 8: 16, 16: 16}
+	for from, want := range steps {
+		if got := upshiftStep(from); got != want {
+			t.Errorf("upshiftStep(%d) = %d, want %d", from, got, want)
+		}
+	}
+	for _, b := range []int{3, 4, 8} {
+		if got := downshiftStep(upshiftStep(b)); got != b {
+			t.Errorf("up then down from %d lands on %d", b, got)
+		}
+	}
+}
+
+// TestUpshiftRecoversAfterPressure drives the full degradation/recovery
+// cycle through the open-loop engine: sustained KV pressure downshifts
+// 16→8, then a calm tail holds occupancy under the low-watermark long
+// enough for the dwell to expire and precision climbs back to 16.
+func TestUpshiftRecoversAfterPressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 16,
+		MaxNew: 120, MaxBatch: 64, Seed: 7,
+		Downshift: true, Upshift: true, Obs: reg,
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap16 := e.KVCapacityTok()
+	// Size pressure requests so exactly five fill the pool past the 90%
+	// hot watermark and the rest wait.
+	per := cap16 * 95 / 100 / 5
+	const pressureNew = 40
+	if per <= pressureNew+1 {
+		t.Fatalf("pool %d too small for the pressure shape", cap16)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := e.Submit(per-pressureNew, pressureNew); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; e.Bits() == 16; i++ {
+		if i > 10*downshiftAfter {
+			t.Fatal("sustained pressure never downshifted")
+		}
+		if _, err := e.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Bits() != 8 {
+		t.Fatalf("downshift landed on %d bits, want 8", e.Bits())
+	}
+	if tier := e.DegradationTier(); tier != 1 {
+		t.Fatalf("degradation tier %d, want 1", tier)
+	}
+	if e.Healing() {
+		t.Error("freshly downshifted engine cannot be healing")
+	}
+	drain(t, e)
+
+	// Calm tail: one small long-running request keeps the batch alive at
+	// low occupancy until the upshift dwell expires.
+	if _, err := e.Submit(100, 120); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e)
+	st := e.Stats()
+	if st.Downshifts < 1 || st.Upshifts < 1 {
+		t.Fatalf("cycle incomplete: %d downshifts, %d upshifts", st.Downshifts, st.Upshifts)
+	}
+	if e.Bits() != 16 || st.FinalBits != 16 {
+		t.Errorf("recovery ended at %d bits, want 16", e.Bits())
+	}
+	if tier := e.DegradationTier(); tier != 0 {
+		t.Errorf("degradation tier %d after full recovery, want 0", tier)
+	}
+	if st.FinalKVTok != cap16 {
+		t.Errorf("pool %d after recovery, want the original %d", st.FinalKVTok, cap16)
+	}
+	if got := reg.Counter("llmpq_online_upshifts_total", obs.L("bits", "16")).Value(); int(got) != st.Upshifts {
+		t.Errorf("upshift counter %.0f, want %d", got, st.Upshifts)
+	}
+	if got := reg.Gauge("llmpq_online_bits").Value(); int(got) != 16 {
+		t.Errorf("bits gauge %.0f, want 16", got)
+	}
+}
+
+// TestUpshiftDisabledStaysDegraded: the same cycle without Upshift keeps
+// the degraded precision forever — the pre-heal behavior.
+func TestUpshiftDisabledStaysDegraded(t *testing.T) {
+	c := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 16,
+		MaxNew: 120, MaxBatch: 64, Seed: 7, Downshift: true,
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := e.KVCapacityTok() * 95 / 100 / 5
+	for i := 0; i < 8; i++ {
+		if _, err := e.Submit(per-40, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, e)
+	if e.Bits() != 8 {
+		t.Fatalf("pressure phase ended at %d bits, want 8", e.Bits())
+	}
+	if _, err := e.Submit(100, 120); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e)
+	if st := e.Stats(); st.Upshifts != 0 || e.Bits() != 8 {
+		t.Errorf("upshift disabled but recovered: %d upshifts, %d bits", st.Upshifts, e.Bits())
+	}
+}
+
+// TestHealingIndicator drives two downshifts and one recovery step so
+// the engine sits between its floor and full precision.
+func TestHealingIndicator(t *testing.T) {
+	c := Config{
+		GPU: hardware.V100, Model: model.OPT13B, Bits: 16,
+		MaxNew: 32, MaxBatch: 8, Seed: 7, Downshift: true, Upshift: true,
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transition arithmetic is exercised end-to-end above; here the
+	// indicator contract is pinned directly on the engine state.
+	e.bits, e.floorBits = 4, 4
+	if e.Healing() {
+		t.Error("at the floor: degraded, not healing")
+	}
+	if tier := e.DegradationTier(); tier != 2 {
+		t.Errorf("tier %d at 4 of 16 bits, want 2", tier)
+	}
+	e.bits = 8
+	if !e.Healing() {
+		t.Error("one step above the floor, below full precision: healing")
+	}
+	e.bits = 16
+	if e.Healing() {
+		t.Error("fully recovered: not healing")
+	}
+}
+
+// TestUpshiftRequiresDownshift pins the config guard.
+func TestUpshiftRequiresDownshift(t *testing.T) {
+	c := openConfig()
+	c.Upshift = true
+	if _, err := NewEngine(c); err == nil || !strings.Contains(err.Error(), "downshift") {
+		t.Fatalf("upshift without downshift accepted: %v", err)
+	}
+}

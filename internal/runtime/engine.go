@@ -87,6 +87,41 @@ func (e *StageLostError) Error() string {
 	return fmt.Sprintf("runtime: worker serving stage %d is lost", e.Stage)
 }
 
+// StageRestoreError is the inverse of StageLostError: an external
+// control plane tells the engine that lost capacity has healed and a
+// capacity-restoring replan is wanted. Returned from a StageTimer
+// callback, it freezes the run at the current virtual time and surfaces
+// a *RestoreHaltError carrying the completed-token watermark; the
+// failover restore path re-solves on the re-expanded cluster and
+// resumes from that watermark. internal/dist produces it when a
+// rejoined worker's lease has held for the heal dwell.
+type StageRestoreError struct{}
+
+func (e *StageRestoreError) Error() string {
+	return "runtime: healed capacity available; restore replan requested"
+}
+
+// RestoreHaltError reports a voluntary halt for a capacity-restoring
+// replan: the pipeline is incomplete but nothing was lost — the run
+// stopped at AtSec so the failover controller can re-expand the cluster
+// and resume from Watermark. The fields mirror DeviceLostError; work in
+// flight beyond the watermark is re-executed after migration.
+type RestoreHaltError struct {
+	AtSec float64
+	// Watermark is the durable generated-token count per request (0 when
+	// prefill had not completed).
+	Watermark int
+	// DurableTokens = GlobalBatch × Watermark, the tokens that survive.
+	DurableTokens int
+	// PrefillDone reports whether every prefill micro-batch had finished.
+	PrefillDone bool
+}
+
+func (e *RestoreHaltError) Error() string {
+	return fmt.Sprintf("runtime: restore replan halt at %.3fs (watermark %d tokens/request)",
+		e.AtSec, e.Watermark)
+}
+
 // Stats summarizes one serving run.
 type Stats struct {
 	LatencySec  float64 // end-to-end batch latency
@@ -173,6 +208,14 @@ type Engine struct {
 	// commit so a crashed control plane can restore the watermark
 	// exactly.
 	OnRoundCommit func(watermark, durableTokens, runTokens int)
+	// RestoreAtSec, when positive, schedules a voluntary restore halt at
+	// that virtual time: if the pipeline is still incomplete the run
+	// freezes and returns a *RestoreHaltError, the simulation seam for
+	// the failover controller's heal path (a healed device's dwell
+	// expiring is a schedule-derived instant, so the halt — and every
+	// artifact downstream of it — stays byte-deterministic). A run that
+	// finishes first ignores it.
+	RestoreAtSec float64
 	// Trace records per-task execution spans into Stats.Trace (render with
 	// RenderGantt).
 	Trace bool
@@ -261,6 +304,9 @@ func (e *Engine) Run() (Stats, error) {
 	if e.StartRound < 0 || (e.StartRound > 0 && e.StartRound >= s.Work.Generate) {
 		return Stats{}, fmt.Errorf("runtime: start round %d outside [0,%d)", e.StartRound, s.Work.Generate)
 	}
+	if e.RestoreAtSec < 0 {
+		return Stats{}, fmt.Errorf("runtime: negative restore time %g", e.RestoreAtSec)
+	}
 
 	var stats Stats
 	stats.StageMemGB = make([]float64, n)
@@ -330,6 +376,7 @@ func (e *Engine) Run() (Stats, error) {
 	// work, freezing the simulation at the loss instant.
 	halted := false
 	var lost *DeviceLostError
+	var restore *RestoreHaltError
 	var simErr error
 	fail := func(err error) {
 		if simErr == nil {
@@ -425,6 +472,15 @@ func (e *Engine) Run() (Stats, error) {
 				halted = true
 				lost = &DeviceLostError{Stage: j, Device: p.Order[j], AtSec: clk.Now()}
 				eo.deviceLost(j)
+				return
+			}
+			var sr *StageRestoreError
+			if errors.As(err, &sr) {
+				// Healed capacity is ready: freeze voluntarily so the
+				// failover restore path can re-expand the cluster. The
+				// dispatched task is re-executed after the resume.
+				halted = true
+				restore = &RestoreHaltError{AtSec: clk.Now()}
 				return
 			}
 			fail(err)
@@ -532,6 +588,21 @@ func (e *Engine) Run() (Stats, error) {
 		}
 	}
 
+	// A scheduled restore halt shares the event queue with the workload
+	// and the chaos faults; it only acts while the pipeline is live and
+	// incomplete, so a run that drains first is untouched.
+	if e.RestoreAtSec > 0 {
+		if err := clk.At(e.RestoreAtSec, func() {
+			if halted || workComplete() {
+				return
+			}
+			halted = true
+			restore = &RestoreHaltError{AtSec: clk.Now()}
+		}); err != nil {
+			return Stats{}, err
+		}
+	}
+
 	// Kick off. A resumed run (StartRound > 0) skips prefill: the master
 	// re-injects decode micro-batches at the watermark round, modelling
 	// restart from migrated KV state.
@@ -580,6 +651,22 @@ func (e *Engine) Run() (Stats, error) {
 		}
 		lost.DurableTokens = B * lost.Watermark
 		return Stats{}, lost
+	}
+	if restore != nil && !workComplete() {
+		// Voluntary restore halt: report the watermark so the failover
+		// controller can resume on the re-expanded cluster.
+		restore.PrefillDone = prefillDone == kp
+		if restore.PrefillDone {
+			w := rounds[0]
+			for _, r := range rounds[1:] {
+				if r < w {
+					w = r
+				}
+			}
+			restore.Watermark = w
+		}
+		restore.DurableTokens = B * restore.Watermark
+		return Stats{}, restore
 	}
 	if s.Work.Generate > 1 && decodeDone != kd {
 		return Stats{}, fmt.Errorf("runtime: simulation ended with %d/%d decode micro-batches complete", decodeDone, kd)

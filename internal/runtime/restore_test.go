@@ -1,0 +1,121 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+)
+
+// restoreResume finishes a restore-halted run on the same plan from the
+// reported watermark and returns the resumed stats.
+func restoreResume(t *testing.T, halt *RestoreHaltError) Stats {
+	t.Helper()
+	s := rtSpec(2.2, 1.4)
+	p := planFor(t, s)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.StartRound = halt.Watermark
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRestoreAtSecHaltsWithWatermark exercises the scheduled restore
+// seam: the run freezes mid-decode with an exact watermark and resuming
+// from it conserves every token.
+func TestRestoreAtSecHaltsWithWatermark(t *testing.T) {
+	s, p, clean := chaosBaseline(t)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RestoreAtSec = clean.LatencySec * 0.6
+	_, err = eng.Run()
+	var halt *RestoreHaltError
+	if !errors.As(err, &halt) {
+		t.Fatalf("want RestoreHaltError, got %v", err)
+	}
+	if halt.AtSec != eng.RestoreAtSec {
+		t.Errorf("halt at %.4f, want the scheduled %.4f", halt.AtSec, eng.RestoreAtSec)
+	}
+	if !halt.PrefillDone {
+		t.Fatal("a 60%-latency halt must land after prefill")
+	}
+	if halt.Watermark <= 0 || halt.Watermark >= s.Work.Generate {
+		t.Fatalf("watermark %d outside (0,%d)", halt.Watermark, s.Work.Generate)
+	}
+	if halt.DurableTokens != s.Work.GlobalBatch*halt.Watermark {
+		t.Errorf("durable %d, want %d", halt.DurableTokens, s.Work.GlobalBatch*halt.Watermark)
+	}
+	resumed := restoreResume(t, halt)
+	if got := halt.DurableTokens + resumed.TokensOut; got != clean.TokensOut {
+		t.Errorf("token conservation: durable %d + resumed %d = %d, want %d",
+			halt.DurableTokens, resumed.TokensOut, got, clean.TokensOut)
+	}
+}
+
+// TestRestoreAfterDrainIsNoOp schedules the restore past the pipeline's
+// completion: the run must finish untouched.
+func TestRestoreAfterDrainIsNoOp(t *testing.T) {
+	s, p, clean := chaosBaseline(t)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RestoreAtSec = clean.LatencySec * 2
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TokensOut != clean.TokensOut || st.LatencySec != clean.LatencySec {
+		t.Errorf("late restore disturbed the run: %d tokens in %.4fs, want %d in %.4fs",
+			st.TokensOut, st.LatencySec, clean.TokensOut, clean.LatencySec)
+	}
+}
+
+// TestStageRestoreErrorHalts drives the control-plane seam: a StageTimer
+// that requests a restore after N evaluations freezes the run exactly
+// like the scheduled variant, and the watermark still conserves tokens.
+func TestStageRestoreErrorHalts(t *testing.T) {
+	s, p, clean := chaosBaseline(t)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	eng.StageTimer = func(stage, batch, round int, prefill bool) (float64, error) {
+		calls++
+		if calls > 20 {
+			return 0, &StageRestoreError{}
+		}
+		return StageTime(s, p, nil, stage, batch, round, prefill)
+	}
+	_, err = eng.Run()
+	var halt *RestoreHaltError
+	if !errors.As(err, &halt) {
+		t.Fatalf("want RestoreHaltError, got %v", err)
+	}
+	if !halt.PrefillDone || halt.Watermark <= 0 {
+		t.Fatalf("halt %+v: expected a post-prefill watermark", halt)
+	}
+	resumed := restoreResume(t, halt)
+	if got := halt.DurableTokens + resumed.TokensOut; got != clean.TokensOut {
+		t.Errorf("token conservation: %d, want %d", got, clean.TokensOut)
+	}
+}
+
+// TestRestoreValidation pins the config errors.
+func TestRestoreValidation(t *testing.T) {
+	s, p, _ := chaosBaseline(t)
+	eng, err := NewEngine(s, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RestoreAtSec = -1
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("negative RestoreAtSec must be rejected")
+	}
+}

@@ -48,6 +48,12 @@ type Meta struct {
 	SimLatencySeconds float64 `json:"sim_latency_seconds"`
 	// PeakBatch is the largest continuous batch any decode step has run.
 	PeakBatch int `json:"peak_batch"`
+	// DegradationTier is how many precision steps below the configured
+	// bitwidth the engine is serving at (0 = full precision).
+	DegradationTier int `json:"degradation_tier"`
+	// Healing reports the engine has upshifted at least one step back
+	// from its deepest downshift but has not reached full precision yet.
+	Healing bool `json:"healing,omitempty"`
 }
 
 // CompletionResponse is both the unary response body and the SSE chunk

@@ -15,7 +15,7 @@ const maxBodyBytes = 1 << 20
 // Handler builds the gateway's HTTP surface:
 //
 //	POST /v1/completions  OpenAI-compatible completion (unary or SSE)
-//	GET  /healthz         readiness: 200 serving, 503 draining
+//	GET  /healthz         readiness: 200 serving (body names degraded/healing), 503 draining
 //	GET  /metrics         ctrl + sim registries concatenated (scraping)
 //	GET  /metrics/sim     sim registry only (byte-diffed artifact)
 //
@@ -95,12 +95,31 @@ func (s *Server) writeError(w http.ResponseWriter, code int, errType, msg string
 	}})
 }
 
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status string `json:"status"`
+	// DegradationTier is precision steps below the configured bitwidth;
+	// only present while degraded or healing.
+	DegradationTier int `json:"degradation_tier,omitempty"`
+}
+
+// handleHealthz reports readiness. A degraded or healing engine is still
+// serving — load balancers must not evict it — so those states stay 200
+// and only the body names the tier; draining alone is 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	tier, healing := s.Health()
+	switch {
+	case healing:
+		s.writeJSON(w, http.StatusOK, healthBody{Status: "healing", DegradationTier: tier})
+	case tier > 0:
+		s.writeJSON(w, http.StatusOK, healthBody{Status: "degraded", DegradationTier: tier})
+	default:
+		s.writeJSON(w, http.StatusOK, healthBody{Status: "ok"})
+	}
 }
 
 // handleMetrics serves both registries for scraping: ctrl first (the

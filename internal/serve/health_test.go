@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/online"
+)
+
+// getHealth probes /healthz and decodes the body.
+func getHealth(t *testing.T, url string) (int, healthBody) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hb healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatalf("decode healthz body: %v", err)
+	}
+	return resp.StatusCode, hb
+}
+
+// sculpt drives the engine directly under the scheduler lock. The
+// scheduler goroutine is parked on the cond (nothing here broadcasts),
+// so stepping the simulation by hand is race-free and deterministic.
+func sculpt(t *testing.T, srv *Server, f func(e *online.Engine) error) {
+	t.Helper()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if err := f(srv.eng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pressureWave submits the §7 pressure shape — enough requests to pack
+// the current pool past the 90% hot watermark plus a few waiters — and
+// steps until the precision drops to wantBits, then drains the wave.
+// Requests are sized at 1/12 of the pool (admission packs to within one
+// request of capacity, so occupancy lands above 91%) and clamped inside
+// the model's context window, which a low-bit pool would otherwise dwarf.
+func pressureWave(e *online.Engine, wantBits int) error {
+	pool := e.KVCapacityTok()
+	per := pool / 12
+	if per > 2000 {
+		per = 2000
+	}
+	if per <= 41 {
+		return fmt.Errorf("pool %d too small for the pressure shape", pool)
+	}
+	for submitted := 0; submitted*per < pool+4*per; submitted++ {
+		if _, err := e.Submit(per-40, 40); err != nil {
+			return err
+		}
+	}
+	for i := 0; e.Bits() != wantBits; i++ {
+		if i > 2000 {
+			return fmt.Errorf("sustained pressure never reached %d bits (at %d)", wantBits, e.Bits())
+		}
+		if _, err := e.StepOnce(); err != nil {
+			return err
+		}
+	}
+	for i := 0; e.Busy(); i++ {
+		if i > 2000 {
+			return fmt.Errorf("pressure wave never drained")
+		}
+		if _, err := e.StepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestHealthzDegraded: a downshifted engine keeps serving — /healthz
+// stays 200 so load balancers do not evict it — and names the state and
+// tier in the body; the per-response llmpq block carries the same tier.
+func TestHealthzDegraded(t *testing.T) {
+	srv, ts := newTestServer(t, func(o *Options) {
+		o.Engine.GPU = hardware.V100
+		o.Engine.Bits = 16
+		o.Engine.MaxNew = 120
+		o.Engine.MaxBatch = 64
+		o.Engine.Downshift = true
+		o.StepHold = 0
+	})
+	if code, hb := getHealth(t, ts.URL); code != http.StatusOK || hb.Status != "ok" || hb.DegradationTier != 0 {
+		t.Fatalf("fresh server healthz: %d %+v, want 200 ok tier 0", code, hb)
+	}
+	sculpt(t, srv, func(e *online.Engine) error { return pressureWave(e, 8) })
+	code, hb := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Errorf("degraded healthz code %d, want 200 — degraded is still serving", code)
+	}
+	if hb.Status != "degraded" || hb.DegradationTier != 1 {
+		t.Errorf("degraded healthz body %+v, want status degraded tier 1", hb)
+	}
+	// A completion served at the degraded precision reports the tier in
+	// its llmpq metadata block.
+	resp := postCompletion(t, ts.URL, `{"prompt": "tier check", "max_tokens": 4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("completion at degraded precision: %d", resp.StatusCode)
+	}
+	cr := decodeCompletion(t, resp)
+	if cr.LLMPQ == nil {
+		t.Fatal("completion carried no llmpq block")
+	}
+	if cr.LLMPQ.DegradationTier != 1 || cr.LLMPQ.Bits != 8 || cr.LLMPQ.Healing {
+		t.Errorf("llmpq block %+v, want tier 1 at 8 bits, not healing", cr.LLMPQ)
+	}
+}
+
+// TestHealthzHealing drives the engine two steps down the ladder and one
+// recovery step back up: /healthz reports "healing" with the remaining
+// tier while the climb is in progress.
+func TestHealthzHealing(t *testing.T) {
+	srv, ts := newTestServer(t, func(o *Options) {
+		o.Engine.GPU = hardware.V100
+		o.Engine.Bits = 16
+		o.Engine.MaxNew = 120
+		o.Engine.MaxBatch = 64
+		o.Engine.Downshift = true
+		o.Engine.Upshift = true
+		o.StepHold = 0
+	})
+	sculpt(t, srv, func(e *online.Engine) error {
+		if err := pressureWave(e, 8); err != nil {
+			return err
+		}
+		return pressureWave(e, 4)
+	})
+	if code, hb := getHealth(t, ts.URL); code != http.StatusOK || hb.Status != "degraded" || hb.DegradationTier != 2 {
+		t.Fatalf("two downshifts deep: %d %+v, want 200 degraded tier 2", code, hb)
+	}
+	// Calm tail: one small long-running request holds occupancy under the
+	// low-watermark until the upshift dwell expires; stop stepping the
+	// moment the first recovery step lands so the climb is mid-flight.
+	sculpt(t, srv, func(e *online.Engine) error {
+		if _, err := e.Submit(100, 120); err != nil {
+			return err
+		}
+		for i := 0; e.Bits() != 8; i++ {
+			if i > 2000 {
+				return fmt.Errorf("calm tail never upshifted (at %d bits)", e.Bits())
+			}
+			if _, err := e.StepOnce(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	code, hb := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Errorf("healing healthz code %d, want 200", code)
+	}
+	if hb.Status != "healing" || hb.DegradationTier != 1 {
+		t.Errorf("healing healthz body %+v, want status healing tier 1", hb)
+	}
+}

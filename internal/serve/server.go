@@ -361,11 +361,22 @@ func (s *Server) meta(req *online.Request) *Meta {
 		Downshifts:       st.Downshifts,
 		KVCapacityTokens: s.eng.KVCapacityTok(),
 		PeakBatch:        st.PeakBatch,
+		DegradationTier:  s.eng.DegradationTier(),
+		Healing:          s.eng.Healing(),
 	}
 	if req.FinishSec() > 0 {
 		m.SimLatencySeconds = req.LatencySec()
 	}
 	return m
+}
+
+// Health snapshots the engine's degradation state for the readiness
+// probe and front-door reporting: the precision tier below configured
+// bits and whether the upshift ladder is mid-climb.
+func (s *Server) Health() (tier int, healing bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.DegradationTier(), s.eng.Healing()
 }
 
 // Serve accepts connections on ln until ctx is cancelled, then runs the

@@ -115,6 +115,54 @@ grep -Eq 'llmpq_solver_cache_hits_total [1-9]' "$obsdir/replan-warm/metrics.prom
 if grep -q 'llmpq_solver_cache' "$obsdir/replan-cold/metrics.prom"; then
     echo "verify.sh: -solve-cache=false still exported cache counters" >&2; exit 1
 fi
+echo "== heal smoke (SIGKILL a worker, restart it with -rejoin, expect capacity-restoring replan) =="
+# A longer decode gives the full loss→lease-expiry→rejoin→dwell→restore
+# sequence room to land mid-run. Clean single-process run fixes the token
+# target the healed run must conserve exactly.
+go run ./cmd/llmpq-algo -cluster 3 -model-name opt-13b -global-bz 8 -s 128 -n 48 \
+    -o "$obsdir/heal-strat.json" > /dev/null
+"$obsdir/llmpq-dist" -strat-file "$obsdir/heal-strat.json" > "$obsdir/heal-single.txt"
+heal_clean=$(sed -n 's/.*(\([0-9]*\) tokens).*/\1/p' "$obsdir/heal-single.txt")
+"$obsdir/llmpq-dist" -role coordinator -strat-file "$obsdir/heal-strat.json" \
+    -listen "$distaddr" -workers 2 -heartbeat 50ms -lease 400ms \
+    -rejoin -heal-dwell 200ms \
+    -metrics-out "$obsdir/heal.prom" -ctrl-metrics-out "$obsdir/heal-ctrl.prom" \
+    > "$obsdir/heal.txt" &
+coord=$!
+"$obsdir/llmpq-dist" -role worker -name w0 -connect "$distaddr" -hold 20ms > /dev/null &
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" -hold 20ms > /dev/null &
+victim=$!
+sleep 0.9
+kill -9 "$victim"
+# Restart the dead worker under its old name: -rejoin retries through the
+# still-live lease, re-admits after expiry, and the dwell-stable lease
+# triggers the restore.
+"$obsdir/llmpq-dist" -role worker -name w1 -connect "$distaddr" -hold 20ms -rejoin > /dev/null &
+wait "$coord"
+wait || true   # the SIGKILLed incarnation reaps nonzero by design
+grep -Eq 'llmpq_failover_restore_total [1-9]' "$obsdir/heal.prom" || {
+    echo "verify.sh: rejoined worker never triggered a capacity-restoring replan" >&2; exit 1; }
+grep -Eq 'llmpq_heal_rejoins_total [1-9]' "$obsdir/heal-ctrl.prom" || {
+    echo "verify.sh: coordinator never counted the rejoin handshake" >&2; exit 1; }
+grep -q 'worker heal' "$obsdir/heal.txt" || {
+    echo "verify.sh: healed run never reported the restore" >&2; exit 1; }
+heal_tokens=$(sed -n 's/^total *\([0-9]*\) tokens.*/\1/p' "$obsdir/heal.txt")
+[ "$heal_tokens" = "$heal_clean" ] || {
+    echo "verify.sh: heal lost tokens (clean $heal_clean, after heal ${heal_tokens:-none})" >&2; exit 1; }
+echo "== flap smoke (seeded device flap must heal and be reproducible byte-for-byte) =="
+for run in 1 2; do
+    mkdir -p "$obsdir/flap$run"
+    (cd "$obsdir/flap$run" && "$obsdir/llmpq-bench" -chaos-profile flap -chaos-seed 1 \
+        -metrics-out metrics.prom -trace-out trace.json > stdout.txt)
+done
+for f in metrics.prom trace.json stdout.txt; do
+    diff "$obsdir/flap1/$f" "$obsdir/flap2/$f" || {
+        echo "verify.sh: flap run is not deterministic ($f differs)" >&2; exit 1; }
+done
+grep -Eq 'llmpq_failover_restore_total [1-9]' "$obsdir/flap1/metrics.prom" || {
+    echo "verify.sh: flap profile never restored capacity" >&2; exit 1; }
+grep -Eq 'llmpq_heal_device_returns_total [1-9]' "$obsdir/flap1/metrics.prom" || {
+    echo "verify.sh: flap profile counted no device return" >&2; exit 1; }
 echo "== distributed chaos smoke (seeded conn-drop must be reproducible byte-for-byte) =="
 for run in 1 2; do
     mkdir -p "$obsdir/dchaos$run"
